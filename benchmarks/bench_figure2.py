@@ -1,0 +1,42 @@
+"""Figure 2 — quality (Theta) against the mixing parameter mu.
+
+Paper shape asserted:
+* OCA finds nearly the exact structure for mu <= 0.5;
+* LFK tracks OCA closely in the easy regime;
+* CFinder trails both across the sweep;
+* everything decays beyond the mu = 0.5 structure threshold.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_figure2
+
+
+def test_figure2(benchmark):
+    result = run_once(benchmark, run_figure2, seed=0)
+    print("\n" + result.render())
+
+    oca = result.series_by_name("OCA")
+    lfk = result.series_by_name("LFK")
+    cfinder = result.series_by_name("CFinder")
+    by_mu = dict(zip(oca.xs, oca.ys))
+
+    # OCA almost exact for mu <= 0.5.
+    for mu, value in by_mu.items():
+        if mu <= 0.5:
+            assert value >= 0.85, f"OCA Theta at mu={mu} fell to {value:.3f}"
+
+    # Decay past the structure threshold.
+    assert by_mu[0.8] < 0.3
+
+    # LFK close behind OCA in the easy regime.
+    for x, y_oca, y_lfk in zip(oca.xs, oca.ys, lfk.ys):
+        if x <= 0.5:
+            assert y_lfk >= 0.7
+            assert y_oca >= y_lfk - 0.05
+
+    # CFinder clearly worse than OCA at every mu <= 0.6 (its k-clique
+    # communities percolate across LFR's dense inter-community triangles).
+    for x, y_oca, y_cf in zip(oca.xs, oca.ys, cfinder.ys):
+        if x <= 0.6:
+            assert y_cf < y_oca

@@ -1,0 +1,31 @@
+"""Figure 6 — execution time against planted community size k.
+
+Paper shape asserted: OCA's runtime stays roughly flat as the planted
+communities grow, while LFK's climbs (its natural-community procedure
+rescans all members after every addition, an O(s^2)-per-community cost);
+LFK sits above OCA across the sweep.  CFinder is absent, as in the paper.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_figure6
+
+
+def test_figure6(benchmark):
+    result = run_once(benchmark, run_figure6, seed=0)
+    print("\n" + result.render())
+
+    oca = result.series_by_name("OCA")
+    lfk = result.series_by_name("LFK")
+
+    # LFK slower than OCA at the big-community end of the sweep.
+    assert lfk.ys[-1] > oca.ys[-1]
+
+    # LFK's ratio to OCA does not shrink as k grows (big-community
+    # support claim): compare first and last k.
+    first_ratio = lfk.ys[0] / oca.ys[0]
+    last_ratio = lfk.ys[-1] / oca.ys[-1]
+    assert last_ratio >= first_ratio * 0.8
+
+    # OCA's growth across a 4x k range stays modest (sub-quadratic).
+    assert oca.ys[-1] <= oca.ys[0] * 6

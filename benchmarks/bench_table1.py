@@ -1,0 +1,24 @@
+"""Table I — dataset inventory (generation cost + realised sizes).
+
+Regenerates the paper's Table I at the default laptop scale and checks
+the structural contracts each family must satisfy.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, run_table1, seed=0)
+    print("\n" + result.render())
+
+    names = [row.name for row in result.rows]
+    assert names == ["LFR-benchmark", "Daisy", "Wikipedia (synthetic)"]
+    # Every family produced a non-trivial instance with planted structure.
+    for row in result.rows:
+        assert row.nodes > 0
+        assert row.edges > row.nodes  # denser than a forest
+        assert row.communities > 1
+    # The synthetic Wikipedia row is the largest, as in the paper.
+    assert result.rows[2].nodes == max(row.nodes for row in result.rows)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Algorithm shoot-out: OCA vs LFK vs CFinder on planted benchmarks.
+
+A miniature of the paper's Section V evaluation: one LFR instance (non-
+overlapping ground truth) and one daisy tree (overlapping ground truth),
+all three algorithms, quality (Theta) and wall-clock side by side.
+
+Run:  python examples/algorithm_comparison.py
+"""
+
+from repro.communities import comparison_report, overlap_statistics, theta
+from repro.experiments import ALGORITHMS, ascii_table, run_algorithm
+from repro.generators import LFRParams, daisy_tree, lfr_graph
+
+
+def evaluate(name, graph, truth, seed):
+    run = run_algorithm(name, graph, seed=seed, quality_mode=True)
+    quality = theta(truth, run.cover) if len(run.cover) else 0.0
+    stats = overlap_statistics(run.cover)
+    return (
+        name,
+        round(quality, 3),
+        len(run.cover),
+        int(stats["overlapping_nodes"]),
+        round(run.elapsed_seconds, 3),
+    )
+
+
+def main() -> None:
+    headers = ["algorithm", "Theta", "#communities", "#overlap nodes", "seconds"]
+
+    print("=== LFR benchmark (n = 1000, mu = 0.3; disjoint ground truth) ===")
+    lfr = lfr_graph(LFRParams(n=1000, mu=0.3), seed=42)
+    print(f"planted: {len(lfr.communities)} communities, "
+          f"realized mixing {lfr.realized_mu:.2f}")
+    rows = [evaluate(name, lfr.graph, lfr.communities, seed=1) for name in ALGORITHMS]
+    print(ascii_table(headers, rows))
+
+    print("\n=== Daisy tree (8 flowers; overlapping ground truth) ===")
+    tree = daisy_tree(flowers=8, seed=42)
+    print(f"planted: {len(tree.communities)} parts over "
+          f"{tree.graph.number_of_nodes()} nodes "
+          f"({len(tree.communities.overlapping_nodes())} overlap nodes)")
+    rows = [evaluate(name, tree.graph, tree.communities, seed=1) for name in ALGORITHMS]
+    print(ascii_table(headers, rows))
+
+    print("\n=== Per-community diagnosis (OCA on one daisy tree flower) ===")
+    small_tree = daisy_tree(flowers=2, seed=7)
+    run = run_algorithm("OCA", small_tree.graph, seed=7, quality_mode=True)
+    print(comparison_report(small_tree.communities, run.cover))
+
+    print(
+        "\nExpected shape (paper, Figures 2-4): OCA and LFK close on LFR;\n"
+        "OCA ahead on the overlapping daisies; CFinder trailing on both."
+    )
+
+
+if __name__ == "__main__":
+    main()

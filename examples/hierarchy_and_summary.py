@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Future-work tour: community hierarchy, relations, and summarization.
+
+Section VI of the paper sketches two follow-ups once communities are
+identified: exploring "the hierarchies and relations among them", and
+"graph summarization for graphs containing overlapped communities".
+This example exercises both extensions on a daisy tree.
+
+Run:  python examples/hierarchy_and_summary.py
+"""
+
+from repro import oca
+from repro.experiments import ascii_table
+from repro.extensions import (
+    community_graph,
+    hierarchical_oca,
+    reconstruction_error,
+    summarize_graph,
+)
+from repro.generators import daisy_tree
+
+
+def main() -> None:
+    instance = daisy_tree(flowers=4, seed=11)
+    graph = instance.graph
+    print(f"daisy tree: {graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} edges, 4 flowers\n")
+
+    # --- Relations between found communities -------------------------------
+    result = oca(graph, seed=11)
+    relations = community_graph(graph, result.cover)
+    overlaps = [r for r in relations if r.shared_nodes > 0]
+    bridges = [r for r in relations if r.shared_nodes == 0]
+    print(f"OCA found {len(result.cover)} communities")
+    print(f"relation graph: {len(overlaps)} overlap relations "
+          f"(petal-core joints), {len(bridges)} pure cross-edge relations "
+          f"(tree attachments)\n")
+
+    # --- Recursive hierarchy -------------------------------------------------
+    hierarchy = hierarchical_oca(graph, levels=3, seed=11)
+    rows = [
+        (level.level, len(level.cover), level.cover.size_distribution()[:5])
+        for level in hierarchy
+    ]
+    print("hierarchical OCA (recursive agglomeration over relation graphs):")
+    print(ascii_table(["level", "#communities", "top sizes"], rows))
+    print("expected: level 0 = petals + cores, level 1 ~ whole flowers")
+
+    # --- Overlap-aware summarization ----------------------------------------
+    model = summarize_graph(graph, result.cover)
+    error = reconstruction_error(graph, model)
+    print(f"\nsummary: {len(model.supernodes)} supernodes, "
+          f"{len(model.superedges)} superedges")
+    print(f"compression ratio: {model.compression_ratio():.1f}x")
+    print(f"adjacency reconstruction error (L1): {error:.4f}")
+
+
+if __name__ == "__main__":
+    main()

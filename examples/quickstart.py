@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: find overlapping communities with OCA in ten lines.
+
+Generates the paper's daisy benchmark (a flower whose petals share nodes
+with its core), runs OCA, and compares the result to the planted ground
+truth with the paper's own quality measures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import oca
+from repro.communities import rho, theta
+from repro.generators import daisy_graph
+
+
+def main() -> None:
+    # A daisy: 4 dense petals overlapping a core in single nodes.
+    instance = daisy_graph(seed=7)
+    graph = instance.graph
+    print(f"graph: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges")
+    print(f"planted communities: {len(instance.communities)} (petals + core)\n")
+
+    # Run OCA.  Everything is deterministic given the seed.
+    result = oca(graph, seed=7)
+    print(f"OCA used c = {result.c:.4f} (computed as -1/lambda_min)")
+    print(f"local searches: {result.runs}, communities found: {len(result.cover)}\n")
+
+    # Inspect the communities and their overlap.
+    for index, community in enumerate(result.cover):
+        best = max(rho(community, planted) for planted in instance.communities)
+        members = sorted(community)
+        preview = ", ".join(map(str, members[:8]))
+        suffix = ", ..." if len(members) > 8 else ""
+        print(f"community {index}: size {len(community)}, "
+              f"best match rho = {best:.2f}  [{preview}{suffix}]")
+
+    shared = sorted(result.cover.overlapping_nodes())
+    print(f"\nnodes in more than one community: {shared}")
+    print(f"Theta against ground truth: {theta(instance.communities, result.cover):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+the package installs in environments without the ``wheel`` package
+(``pip install -e .`` needs ``bdist_wheel``; ``python setup.py develop``
+does not).
+"""
+
+from setuptools import setup
+
+setup()

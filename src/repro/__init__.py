@@ -1,0 +1,80 @@
+"""repro — reproduction of *Overlapping Community Search for Social
+Networks* (Padrol-Sureda, Perarnau-Llobet, Pfeifle, Muntés-Mulero;
+ICDE 2010).
+
+The package implements:
+
+* **OCA**, the paper's overlapping community search algorithm
+  (:mod:`repro.core`), including the virtual vector representation, the
+  spectral computation of ``c = -1/lambda_min`` via the power method, and
+  the directed-Laplacian fitness;
+* the **baselines** it compares against — LFK local fitness optimisation
+  and CFinder k-clique percolation (:mod:`repro.baselines`);
+* the **benchmarks** of its evaluation — the LFR generator, the daisy /
+  daisy-tree overlapping benchmark, and a Wikipedia-scale synthetic graph
+  (:mod:`repro.generators`);
+* the **quality measures** ``rho`` (Eq. V.1) and ``Theta`` (Eq. V.2)
+  plus standard metrics (:mod:`repro.communities`);
+* a self-contained **graph substrate** (:mod:`repro.graph`) and the
+  **experiment harness** regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import oca
+    from repro.generators import daisy_tree
+
+    instance = daisy_tree(flowers=5, seed=7)
+    result = oca(instance.graph, seed=7)
+    for community in result.cover:
+        print(sorted(community))
+"""
+
+from .errors import (
+    ReproError,
+    GraphError,
+    NodeNotFoundError,
+    EdgeNotFoundError,
+    GraphFormatError,
+    CommunityError,
+    EmptyCommunityError,
+    GeneratorError,
+    AlgorithmError,
+    ConvergenceError,
+    ConfigurationError,
+)
+from .graph import Graph
+from .communities import Community, Cover, Partition, rho, theta
+from .core import OCA, OCAConfig, OCAResult, oca, admissible_c
+from .baselines import cfinder, lfk, clique_percolation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "GraphFormatError",
+    "CommunityError",
+    "EmptyCommunityError",
+    "GeneratorError",
+    "AlgorithmError",
+    "ConvergenceError",
+    "ConfigurationError",
+    "Graph",
+    "Community",
+    "Cover",
+    "Partition",
+    "rho",
+    "theta",
+    "OCA",
+    "OCAConfig",
+    "OCAResult",
+    "oca",
+    "admissible_c",
+    "cfinder",
+    "lfk",
+    "clique_percolation",
+]

@@ -1,0 +1,67 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None`` (fresh OS entropy), an ``int`` (reproducible), or an
+already-constructed :class:`random.Random` / :class:`numpy.random.Generator`
+instance.  This module centralises the normalisation so that all modules
+behave identically.
+
+The library standardises on :class:`random.Random` for combinatorial choices
+(set sampling, shuffles) because its method set maps directly onto the
+operations the algorithms need, and on :class:`numpy.random.Generator` for
+bulk numeric sampling inside the generators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "as_random", "as_numpy_rng", "spawn_seed"]
+
+#: Acceptable values for every ``seed`` parameter in the library.
+SeedLike = Union[None, int, random.Random, np.random.Generator]
+
+#: Exclusive upper bound used when deriving child seeds.
+_MAX_SEED = 2**63
+
+
+def as_random(seed: SeedLike = None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``None`` yields a freshly-seeded generator, an ``int`` a deterministic
+    one, an existing :class:`random.Random` is passed through, and a numpy
+    generator is adapted by drawing a derivation seed from it.
+    """
+    if seed is None:
+        return random.Random()
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return random.Random(int(seed.integers(_MAX_SEED)))
+    if isinstance(seed, (int, np.integer)):
+        return random.Random(int(seed))
+    raise TypeError(f"cannot interpret {seed!r} as a random seed")
+
+
+def as_numpy_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Mirrors :func:`as_random` for numpy generators.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, random.Random):
+        return np.random.default_rng(seed.randrange(_MAX_SEED))
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"cannot interpret {seed!r} as a random seed")
+
+
+def spawn_seed(rng: random.Random) -> int:
+    """Draw an integer suitable for seeding an independent child generator."""
+    return rng.randrange(_MAX_SEED)

@@ -1,0 +1,27 @@
+"""Baseline community-detection algorithms the paper compares against.
+
+* :mod:`~repro.baselines.lfk` — LFK local fitness optimisation (ref. [8]).
+* :mod:`~repro.baselines.cpm` — CFinder / k-clique percolation (ref. [12]),
+  built on :mod:`~repro.baselines.cliques` (Bron–Kerbosch).
+* :mod:`~repro.baselines.modularity_greedy` — Newman's fast greedy
+  partitioning (ref. [11]); the non-overlapping reference point.
+"""
+
+from .cliques import maximal_cliques, cliques_at_least, clique_number
+from .cpm import CPMResult, clique_percolation, cfinder
+from .lfk import LFKResult, natural_community, lfk
+from .modularity_greedy import GreedyModularityResult, greedy_modularity
+
+__all__ = [
+    "maximal_cliques",
+    "cliques_at_least",
+    "clique_number",
+    "CPMResult",
+    "clique_percolation",
+    "cfinder",
+    "LFKResult",
+    "natural_community",
+    "lfk",
+    "GreedyModularityResult",
+    "greedy_modularity",
+]

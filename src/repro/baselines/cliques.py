@@ -1,0 +1,60 @@
+"""Maximal clique enumeration: Bron–Kerbosch with pivoting.
+
+CFinder "is based on retrieving all cliques of the graph; however, this
+operation turns out to be prohibitive for large graphs" — that cost is
+precisely what the paper's Figure 5 exhibits.  This module implements the
+standard pivoted Bron–Kerbosch algorithm (Tomita et al. variant) so the
+clique-percolation baseline is faithful, prohibitive cost included.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterator, List, Set
+
+from ..graph import Graph
+
+__all__ = ["maximal_cliques", "cliques_at_least", "clique_number"]
+
+Node = Hashable
+
+
+def maximal_cliques(graph: Graph) -> Iterator[FrozenSet[Node]]:
+    """Yield every maximal clique of ``graph`` exactly once.
+
+    Iterative pivoted Bron–Kerbosch: the pivot is chosen as the vertex of
+    ``P ∪ X`` with the most neighbours in ``P``, which prunes the search
+    tree to the Moon–Moser bound.  Isolated nodes are reported as
+    single-node cliques.
+    """
+    # Iterative formulation to dodge Python's recursion limit on large,
+    # dense instances.
+    adjacency = {node: graph.neighbors(node) for node in graph.nodes()}
+    stack: List[tuple] = [
+        (set(), set(adjacency), set())
+    ]  # frames of (R, P, X)
+    while stack:
+        r, p, x = stack.pop()
+        if not p and not x:
+            if r:
+                yield frozenset(r)
+            continue
+        # Pivot with the largest |N(pivot) ∩ P|.
+        pivot = max(p | x, key=lambda node: len(adjacency[node] & p))
+        candidates = p - adjacency[pivot]
+        for node in list(candidates):
+            neighbours = adjacency[node]
+            stack.append((r | {node}, p & neighbours, x & neighbours))
+            p = p - {node}
+            x = x | {node}
+
+
+def cliques_at_least(graph: Graph, k: int) -> List[FrozenSet[Node]]:
+    """All maximal cliques with at least ``k`` nodes."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return [clique for clique in maximal_cliques(graph) if len(clique) >= k]
+
+
+def clique_number(graph: Graph) -> int:
+    """The size of the largest clique (0 for the empty graph)."""
+    return max((len(clique) for clique in maximal_cliques(graph)), default=0)

@@ -1,0 +1,140 @@
+"""CFinder: the k-clique percolation method of Palla et al. (ref. [12]).
+
+A *k-clique community* is the union of all k-cliques reachable from one
+another through chains of k-cliques sharing ``k - 1`` nodes.  CFinder's
+own implementation (and ours) exploits the standard equivalence with
+maximal cliques: restrict to maximal cliques of size >= k, connect two of
+them when they share >= k - 1 nodes, and take connected components — each
+component's node union is one community.  (Any two k-cliques inside one
+maximal clique trivially percolate, and two maximal cliques sharing
+``k - 1`` nodes contain adjacent k-cliques, so the equivalence is exact.)
+
+The paper runs CFinder with ``k = 3``, "the value of the parameter k that
+yielded the best results", and observes that the clique enumeration is
+prohibitive on large instances — behaviour this implementation shares by
+construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Set
+
+from ..communities import Cover
+from ..errors import ConfigurationError
+from ..graph import Graph
+from .cliques import cliques_at_least
+
+__all__ = ["CPMResult", "clique_percolation", "cfinder"]
+
+Node = Hashable
+
+
+@dataclass
+class CPMResult:
+    """Outcome of a clique-percolation run.
+
+    Attributes
+    ----------
+    cover:
+        The k-clique communities (overlapping by nature: nodes in several
+        cliques of different communities appear in each).
+    k:
+        The clique size parameter used.
+    maximal_cliques:
+        How many maximal cliques of size >= k were enumerated.
+    elapsed_seconds:
+        Wall-clock duration.
+    """
+
+    cover: Cover
+    k: int
+    maximal_cliques: int
+    elapsed_seconds: float
+
+    def __repr__(self) -> str:
+        return (
+            f"CPMResult(communities={len(self.cover)}, k={self.k}, "
+            f"cliques={self.maximal_cliques}, elapsed={self.elapsed_seconds:.3f}s)"
+        )
+
+
+def clique_percolation(
+    graph: Graph, k: int = 3, faithful_overlap: bool = True
+) -> CPMResult:
+    """Run k-clique percolation on ``graph``.
+
+    ``k`` must be at least 2 (k = 2 degenerates to connected components of
+    the edge set, which is still well-defined and occasionally useful as a
+    sanity baseline).
+
+    ``faithful_overlap`` selects how clique adjacency is discovered:
+
+    * ``True`` (default): the **published CFinder procedure** — build the
+      full clique–clique overlap matrix, i.e. compare every pair of
+      cliques.  Quadratic in the number of cliques, which is exactly the
+      cost profile behind the paper's Figure 5 ("prohibitively slow") —
+      timing experiments must keep this default to be comparable.
+    * ``False``: an indexed variant that only compares cliques sharing at
+      least one node.  Identical output, much faster on large sparse
+      graphs; provided for users who want CPM results rather than a
+      faithful baseline.
+    """
+    if k < 2:
+        raise ConfigurationError(f"k must be >= 2, got {k}")
+    start = time.perf_counter()
+    cliques: List[FrozenSet[Node]] = cliques_at_least(graph, k)
+
+    # Union-find over clique indices.
+    parent = list(range(len(cliques)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    if faithful_overlap:
+        # Full clique-clique overlap matrix, as in Palla et al.'s tool.
+        for i in range(len(cliques)):
+            clique_i = cliques[i]
+            for j in range(i + 1, len(cliques)):
+                if len(clique_i & cliques[j]) >= k - 1 and find(i) != find(j):
+                    union(i, j)
+    else:
+        # Index cliques by member so only cliques sharing a node compare.
+        by_node: Dict[Node, List[int]] = {}
+        for index, clique in enumerate(cliques):
+            for node in clique:
+                by_node.setdefault(node, []).append(index)
+        for indices in by_node.values():
+            for position, i in enumerate(indices):
+                clique_i = cliques[i]
+                for j in indices[position + 1 :]:
+                    if find(i) == find(j):
+                        continue
+                    if len(clique_i & cliques[j]) >= k - 1:
+                        union(i, j)
+
+    groups: Dict[int, Set[Node]] = {}
+    for index, clique in enumerate(cliques):
+        groups.setdefault(find(index), set()).update(clique)
+
+    cover = Cover(groups.values())
+    return CPMResult(
+        cover=cover,
+        k=k,
+        maximal_cliques=len(cliques),
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def cfinder(graph: Graph, k: int = 3, faithful_overlap: bool = True) -> Cover:
+    """CFinder with the paper's parameterisation; returns just the cover."""
+    return clique_percolation(graph, k=k, faithful_overlap=faithful_overlap).cover

@@ -1,0 +1,204 @@
+"""Command-line interface: ``repro-oca`` / ``python -m repro``.
+
+Subcommands:
+
+``detect``
+    Run an algorithm (OCA by default) on an edge-list file and write the
+    cover (one community per line) to stdout or a file.
+``experiment``
+    Regenerate one paper artefact (table1, figure2 .. figure6,
+    wikipedia) and print its data table.
+``info``
+    Summarise a graph file (the Table-I statistics).
+``generate``
+    Emit a benchmark instance (lfr / daisy / wikipedia) as an edge-list
+    file, optionally with its planted ground-truth cover.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .communities import write_cover
+from .experiments import (
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_table1,
+    run_wikipedia,
+    run_algorithm,
+)
+from .graph import read_edge_list, summarize
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-oca",
+        description=(
+            "Overlapping Community Search (ICDE 2010) reproduction: run OCA "
+            "and baselines, regenerate the paper's tables and figures."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    detect = subparsers.add_parser(
+        "detect", help="find overlapping communities in an edge-list file"
+    )
+    detect.add_argument("graph", help="path to an edge-list file (u v per line)")
+    detect.add_argument(
+        "--algorithm",
+        choices=["OCA", "LFK", "CFinder"],
+        default="OCA",
+        help="which algorithm to run (default: OCA)",
+    )
+    detect.add_argument("--seed", type=int, default=None, help="random seed")
+    detect.add_argument(
+        "--output", default=None, help="write the cover here instead of stdout"
+    )
+    detect.add_argument(
+        "--raw",
+        action="store_true",
+        help="skip post-processing (merging and orphan assignment)",
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate a paper table or figure"
+    )
+    experiment.add_argument(
+        "artefact",
+        choices=[
+            "table1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "wikipedia",
+        ],
+    )
+    experiment.add_argument("--seed", type=int, default=0, help="random seed")
+
+    info = subparsers.add_parser("info", help="summarise a graph file")
+    info.add_argument("graph", help="path to an edge-list file")
+
+    generate = subparsers.add_parser(
+        "generate", help="emit a benchmark instance as an edge-list file"
+    )
+    generate.add_argument("family", choices=["lfr", "daisy", "wikipedia"])
+    generate.add_argument("--out", required=True, help="edge-list output path")
+    generate.add_argument(
+        "--truth", default=None, help="also write the planted cover here"
+    )
+    generate.add_argument("--seed", type=int, default=0, help="random seed")
+    generate.add_argument("--n", type=int, default=None, help="graph size")
+    generate.add_argument(
+        "--mu", type=float, default=0.3, help="LFR mixing parameter"
+    )
+    generate.add_argument(
+        "--flowers", type=int, default=5, help="daisy-tree flower count"
+    )
+
+    return parser
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    run = run_algorithm(
+        args.algorithm,
+        graph,
+        seed=args.seed,
+        quality_mode=not args.raw,
+        assign_orphans=False,
+    )
+    if args.output:
+        write_cover(run.cover, args.output)
+        print(
+            f"{args.algorithm}: {len(run.cover)} communities in "
+            f"{run.elapsed_seconds:.2f}s -> {args.output}"
+        )
+    else:
+        write_cover(run.cover, sys.stdout)
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    runners = {
+        "table1": lambda: run_table1(seed=args.seed).render(),
+        "figure2": lambda: run_figure2(seed=args.seed).render(),
+        "figure3": lambda: run_figure3(seed=args.seed).render(),
+        "figure4": lambda: run_figure4(seed=args.seed).render(),
+        "figure5": lambda: run_figure5(seed=args.seed).render(),
+        "figure6": lambda: run_figure6(seed=args.seed).render(),
+        "wikipedia": lambda: run_wikipedia(n=5000, seed=args.seed).render(),
+    }
+    print(runners[args.artefact]())
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    for key, value in summarize(graph).as_row().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    from .generators import (
+        DaisyParams,
+        LFRParams,
+        WikipediaParams,
+        daisy_tree,
+        lfr_graph,
+        wikipedia_like_graph,
+    )
+    from .graph import write_edge_list
+
+    if args.family == "lfr":
+        params = LFRParams(n=args.n or 1000, mu=args.mu)
+        instance = lfr_graph(params, seed=args.seed)
+        graph, truth = instance.graph, instance.communities
+    elif args.family == "daisy":
+        instance = daisy_tree(flowers=args.flowers, seed=args.seed)
+        graph, truth = instance.graph, instance.communities
+    else:
+        params = WikipediaParams(n=args.n or 20000)
+        instance = wikipedia_like_graph(params, seed=args.seed)
+        graph, truth = instance.graph, instance.topics
+    write_edge_list(graph, args.out)
+    message = (
+        f"{args.family}: {graph.number_of_nodes()} nodes, "
+        f"{graph.number_of_edges()} edges -> {args.out}"
+    )
+    if args.truth:
+        write_cover(truth, args.truth)
+        message += f" (truth: {len(truth)} communities -> {args.truth})"
+    print(message)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "detect": _command_detect,
+        "experiment": _command_experiment,
+        "info": _command_info,
+        "generate": _command_generate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,224 @@
+"""Community structures: single communities, overlapping covers, partitions.
+
+The paper's central premise is that real networks have *overlapping*
+community structure, so the first-class citizen here is :class:`Cover`
+— an unordered collection of node sets that may share nodes and need not
+exhaust the graph ("we accept community structures where not all nodes
+belong to a community", Section IV).
+
+:class:`Partition` is the special case with disjoint, exhaustive blocks,
+provided for the non-overlapping reference algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..errors import CommunityError, EmptyCommunityError
+
+__all__ = ["Community", "Cover", "Partition"]
+
+Node = Hashable
+
+
+class Community(FrozenSet[Node]):
+    """An immutable set of nodes forming one community.
+
+    Being a frozenset, a community hashes and compares structurally, which
+    makes dedup of repeated local optima (OCA finds the same community
+    from many seeds) a set operation.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, nodes: Iterable[Node]) -> "Community":
+        community = super().__new__(cls, nodes)
+        if not community:
+            raise EmptyCommunityError("a community must contain at least one node")
+        return community
+
+    def jaccard(self, other: AbstractSet[Node]) -> float:
+        """Jaccard similarity ``|A ∩ B| / |A ∪ B|`` with another node set."""
+        if not other:
+            return 0.0
+        intersection = len(self & other)
+        union = len(self) + len(other) - intersection
+        return intersection / union
+
+    def overlap(self, other: AbstractSet[Node]) -> int:
+        """Size of the intersection with another node set."""
+        return len(self & other)
+
+    def __repr__(self) -> str:
+        preview = sorted(self, key=str)[:6]
+        suffix = ", ..." if len(self) > 6 else ""
+        inner = ", ".join(repr(node) for node in preview)
+        return f"Community({{{inner}{suffix}}}, size={len(self)})"
+
+
+class Cover:
+    """An overlapping community structure: a collection of communities.
+
+    Duplicated communities are collapsed at construction; order is the
+    first-appearance order (stable across runs given seeds, handy for
+    reporting).
+
+    Examples
+    --------
+    >>> cover = Cover([{1, 2, 3}, {3, 4, 5}])
+    >>> cover.membership()[3]
+    [0, 1]
+    >>> sorted(cover.overlapping_nodes())
+    [3]
+    """
+
+    __slots__ = ("_communities",)
+
+    def __init__(self, communities: Iterable[Iterable[Node]] = ()) -> None:
+        unique: Dict[Community, None] = {}
+        for members in communities:
+            unique.setdefault(Community(members), None)
+        self._communities: List[Community] = list(unique)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._communities)
+
+    def __iter__(self) -> Iterator[Community]:
+        return iter(self._communities)
+
+    def __getitem__(self, index: int) -> Community:
+        return self._communities[index]
+
+    def __contains__(self, community: object) -> bool:
+        if isinstance(community, frozenset):
+            return community in set(self._communities)
+        if isinstance(community, (set, list, tuple)):
+            return frozenset(community) in set(self._communities)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cover):
+            return NotImplemented
+        return set(self._communities) == set(other._communities)
+
+    def __repr__(self) -> str:
+        sizes = sorted((len(c) for c in self._communities), reverse=True)[:5]
+        return f"Cover(k={len(self)}, top_sizes={sizes})"
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def communities(self) -> List[Community]:
+        """The communities as a fresh list."""
+        return list(self._communities)
+
+    def covered_nodes(self) -> Set[Node]:
+        """The union of all communities."""
+        covered: Set[Node] = set()
+        for community in self._communities:
+            covered |= community
+        return covered
+
+    def membership(self) -> Dict[Node, List[int]]:
+        """Map each covered node to the indices of its communities."""
+        member_of: Dict[Node, List[int]] = {}
+        for index, community in enumerate(self._communities):
+            for node in community:
+                member_of.setdefault(node, []).append(index)
+        return member_of
+
+    def membership_counts(self) -> Dict[Node, int]:
+        """Map each covered node to how many communities contain it."""
+        return {node: len(ids) for node, ids in self.membership().items()}
+
+    def overlapping_nodes(self) -> Set[Node]:
+        """Nodes that belong to two or more communities."""
+        return {node for node, k in self.membership_counts().items() if k >= 2}
+
+    def orphan_nodes(self, all_nodes: Iterable[Node]) -> Set[Node]:
+        """Nodes of ``all_nodes`` not covered by any community."""
+        return set(all_nodes) - self.covered_nodes()
+
+    def size_distribution(self) -> List[int]:
+        """Community sizes, descending."""
+        return sorted((len(c) for c in self._communities), reverse=True)
+
+    def restrict_to(self, nodes: Iterable[Node]) -> "Cover":
+        """The cover induced on ``nodes``; empty intersections drop out."""
+        node_set = set(nodes)
+        restricted = []
+        for community in self._communities:
+            overlap = community & node_set
+            if overlap:
+                restricted.append(overlap)
+        return Cover(restricted)
+
+    def without_small(self, min_size: int) -> "Cover":
+        """Drop communities with fewer than ``min_size`` members."""
+        return Cover(c for c in self._communities if len(c) >= min_size)
+
+    def add(self, members: Iterable[Node]) -> "Cover":
+        """A new cover with one extra community (dedup applies)."""
+        return Cover(list(self._communities) + [set(members)])
+
+    def as_sets(self) -> List[Set[Node]]:
+        """The communities as plain mutable sets (copies)."""
+        return [set(c) for c in self._communities]
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_membership(cls, member_of: Dict[Node, Iterable[int]]) -> "Cover":
+        """Build a cover from a node -> community-ids mapping."""
+        groups: Dict[int, Set[Node]] = {}
+        for node, ids in member_of.items():
+            for community_id in ids:
+                groups.setdefault(community_id, set()).add(node)
+        return cls(groups[key] for key in sorted(groups))
+
+    def to_partition(self) -> "Partition":
+        """Convert to a partition; raises if communities overlap."""
+        if self.overlapping_nodes():
+            raise CommunityError("cover has overlapping nodes; not a partition")
+        return Partition(self._communities)
+
+
+class Partition(Cover):
+    """A disjoint community structure (no node in two blocks).
+
+    Construction verifies disjointness; exhaustiveness is the caller's
+    concern (use :meth:`Cover.orphan_nodes` to check).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, communities: Iterable[Iterable[Node]] = ()) -> None:
+        super().__init__(communities)
+        seen: Set[Node] = set()
+        for community in self:
+            clash = seen & community
+            if clash:
+                sample = next(iter(clash))
+                raise CommunityError(
+                    f"partition blocks overlap (e.g. node {sample!r} appears twice)"
+                )
+            seen |= community
+
+    def block_of(self) -> Dict[Node, int]:
+        """Map each node to the index of its (unique) block."""
+        return {node: ids[0] for node, ids in self.membership().items()}

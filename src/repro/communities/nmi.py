@@ -1,0 +1,122 @@
+"""Normalised mutual information for *overlapping* covers.
+
+This is the measure introduced by Lancichinetti, Fortunato & Kertész
+(2009, the "LFK" paper the reproduction also implements as a baseline).
+The paper under reproduction evaluates with its own ``Theta`` measure
+(:mod:`repro.communities.suitability`); we additionally ship overlapping
+NMI as an independent second opinion for EXPERIMENTS.md, since it is the
+de-facto standard in the later literature.
+
+Each community is viewed as a binary random variable over the node
+universe ("is node x a member?").  For covers ``X`` and ``Y``:
+
+* ``H(X_i | Y_j)`` is the conditional entropy between two membership
+  variables, accepted only if it passes the LFK sanity constraint
+  ``h(p11) + h(p00) >= h(p01) + h(p10)`` (otherwise conditioning on an
+  unrelated community would spuriously lower entropy).
+* ``H(X_i | Y) = min_j H(X_i | Y_j)`` (worst case: its own entropy).
+* The normalised conditional entropy averages ``H(X_i|Y) / H(X_i)``.
+* ``NMI(X, Y) = 1 - [Hnorm(X|Y) + Hnorm(Y|X)] / 2``  — in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, List, Sequence, Set
+
+from ..errors import CommunityError
+from .cover import Cover
+
+__all__ = ["overlapping_nmi"]
+
+Node = Hashable
+
+
+def _h(p: float) -> float:
+    """The entropy summand ``-p log2 p`` with the ``h(0) = 0`` convention."""
+    if p <= 0.0:
+        return 0.0
+    return -p * math.log2(p)
+
+
+def _entropy(size: int, n: int) -> float:
+    """Entropy of a Bernoulli membership variable with ``size`` members."""
+    p = size / n
+    return _h(p) + _h(1.0 - p)
+
+
+def _conditional_entropy(
+    x: Set[Node], y: Set[Node], n: int
+) -> float:
+    """``H(X | Y)`` for two membership variables, or +inf if rejected.
+
+    Rejection implements the LFK constraint: conditioning is only
+    meaningful when the agreement terms dominate the disagreement terms.
+    """
+    both = len(x & y)
+    only_x = len(x) - both
+    only_y = len(y) - both
+    neither = n - both - only_x - only_y
+    h11 = _h(both / n)
+    h00 = _h(neither / n)
+    h01 = _h(only_y / n)
+    h10 = _h(only_x / n)
+    if h11 + h00 < h01 + h10:
+        return math.inf
+    joint = h11 + h00 + h01 + h10
+    h_y = _entropy(len(y), n)
+    return joint - h_y
+
+
+def _normalized_conditional(
+    xs: Sequence[Set[Node]], ys: Sequence[Set[Node]], n: int
+) -> float:
+    """``Hnorm(X | Y)``: mean over X-communities of normalised entropy."""
+    total = 0.0
+    for x in xs:
+        h_x = _entropy(len(x), n)
+        if h_x == 0.0:
+            # A community equal to the empty set or the full universe
+            # carries no information; it is perfectly "explained".
+            continue
+        best = min(
+            (_conditional_entropy(x, y, n) for y in ys),
+            default=math.inf,
+        )
+        if math.isinf(best):
+            best = h_x
+        total += best / h_x
+    return total / len(xs)
+
+
+def overlapping_nmi(
+    cover_a: Cover,
+    cover_b: Cover,
+    nodes: Iterable[Node],
+) -> float:
+    """Overlapping NMI between two covers over the node universe ``nodes``.
+
+    Returns a value in ``[0, 1]``; 1 for identical covers.  Raises
+    :class:`CommunityError` when either cover is empty or the universe
+    does not contain every community member.
+    """
+    universe = set(nodes)
+    n = len(universe)
+    if n == 0:
+        raise CommunityError("NMI needs a non-empty node universe")
+    if len(cover_a) == 0 or len(cover_b) == 0:
+        raise CommunityError("NMI is undefined for empty covers")
+    for cover in (cover_a, cover_b):
+        stray = cover.covered_nodes() - universe
+        if stray:
+            sample = next(iter(stray))
+            raise CommunityError(
+                f"community member {sample!r} is outside the node universe"
+            )
+    xs = [set(c) for c in cover_a]
+    ys = [set(c) for c in cover_b]
+    h_x_given_y = _normalized_conditional(xs, ys, n)
+    h_y_given_x = _normalized_conditional(ys, xs, n)
+    value = 1.0 - (h_x_given_y + h_y_given_x) / 2.0
+    # Clamp tiny floating-point excursions.
+    return min(1.0, max(0.0, value))

@@ -1,0 +1,104 @@
+"""Human-readable comparison of an observed cover against ground truth.
+
+The evaluation measures (`theta`, overlapping NMI) compress a comparison
+into one number; when a benchmark result looks off, the useful question
+is *which* community was missed, fragmented, or blurred.  This module
+answers it with a per-community match table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+from .cover import Cover
+from .similarity import rho
+from .suitability import best_match_assignment, theta
+
+__all__ = ["CommunityMatch", "match_table", "comparison_report"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class CommunityMatch:
+    """How one real community was recovered.
+
+    Attributes
+    ----------
+    real_index / real_size:
+        The ground-truth community and its size.
+    best_observed / best_rho:
+        Index of the observed community with the highest ``rho`` against
+        it (``None``/0.0 when the observed cover is empty).
+    attributed:
+        How many observed communities preferred this real one in the
+        ``Theta`` attribution — more than 1 signals fragmentation, 0
+        signals the community was missed entirely.
+    """
+
+    real_index: int
+    real_size: int
+    best_observed: Optional[int]
+    best_rho: float
+    attributed: int
+
+    @property
+    def verdict(self) -> str:
+        """One-word diagnosis: exact / good / fragmented / blurred / missed."""
+        if self.best_rho >= 0.999:
+            return "exact"
+        if self.attributed == 0:
+            return "missed"
+        if self.attributed > 1:
+            return "fragmented"
+        if self.best_rho >= 0.7:
+            return "good"
+        return "blurred"
+
+
+def match_table(real: Cover, observed: Cover) -> List[CommunityMatch]:
+    """Per-real-community recovery diagnostics."""
+    assignment = best_match_assignment(real, observed) if len(observed) else {
+        i: [] for i in range(len(real))
+    }
+    matches: List[CommunityMatch] = []
+    for i, real_community in enumerate(real):
+        best_index: Optional[int] = None
+        best_value = 0.0
+        for j, observed_community in enumerate(observed):
+            value = rho(real_community, observed_community)
+            if value > best_value:
+                best_value = value
+                best_index = j
+        matches.append(
+            CommunityMatch(
+                real_index=i,
+                real_size=len(real_community),
+                best_observed=best_index,
+                best_rho=best_value,
+                attributed=len(assignment.get(i, [])),
+            )
+        )
+    return matches
+
+
+def comparison_report(real: Cover, observed: Cover) -> str:
+    """A rendered text report: match table plus the Theta summary."""
+    matches = match_table(real, observed)
+    lines = [
+        f"{'real':>5}  {'size':>5}  {'best':>5}  {'rho':>6}  "
+        f"{'attributed':>10}  verdict",
+    ]
+    for match in matches:
+        best = "-" if match.best_observed is None else str(match.best_observed)
+        lines.append(
+            f"{match.real_index:>5}  {match.real_size:>5}  {best:>5}  "
+            f"{match.best_rho:>6.3f}  {match.attributed:>10}  {match.verdict}"
+        )
+    overall = theta(real, observed) if len(observed) else 0.0
+    lines.append(
+        f"Theta = {overall:.4f} over {len(real)} real / "
+        f"{len(observed)} observed communities"
+    )
+    return "\n".join(lines)

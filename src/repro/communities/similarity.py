@@ -1,0 +1,47 @@
+"""Community similarity ``rho`` — Equation (V.1) of the paper.
+
+The paper defines, for communities ``C`` and ``D``::
+
+    rho(C, D) = 1 - (|C \\ D| + |D \\ C|) / |C ∪ D|
+
+which is algebraically identical to the Jaccard index
+``|C ∩ D| / |C ∪ D|`` (the symmetric difference is the union minus the
+intersection).  We keep the paper's formulation as the reference
+implementation and expose the Jaccard identity as a cross-check used by
+the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Hashable
+
+__all__ = ["rho", "rho_jaccard_form", "distance"]
+
+Node = Hashable
+
+
+def rho(c: AbstractSet[Node], d: AbstractSet[Node]) -> float:
+    """Similarity of two node sets per Eq. (V.1).
+
+    Returns a value in ``[0, 1]``: 1 for identical sets, 0 for disjoint
+    sets.  Two empty sets are defined as identical (similarity 1), which
+    keeps ``rho`` reflexive over its whole domain.
+    """
+    union = len(c | d)
+    if union == 0:
+        return 1.0
+    symmetric_difference = len(c - d) + len(d - c)
+    return 1.0 - symmetric_difference / union
+
+
+def rho_jaccard_form(c: AbstractSet[Node], d: AbstractSet[Node]) -> float:
+    """The Jaccard form ``|C ∩ D| / |C ∪ D|``; equals :func:`rho` exactly."""
+    union = len(c | d)
+    if union == 0:
+        return 1.0
+    return len(c & d) / union
+
+
+def distance(c: AbstractSet[Node], d: AbstractSet[Node]) -> float:
+    """The complementary distance ``1 - rho`` (a metric on finite sets)."""
+    return 1.0 - rho(c, d)

@@ -1,0 +1,74 @@
+"""Community-structure suitability ``Theta`` — Equation (V.2) of the paper.
+
+Given the *real* structure ``F = {F_1, ..., F_l}`` and the *observed*
+structure ``O = {O_1, ..., O_m}``, each observed community ``O_j`` is
+attributed to the real community it matches best,
+
+    V_i = { O_j : argmax_k rho(F_k, O_j) = i },
+
+and the suitability is the mean over real communities of the mean match
+quality of their attributed observations:
+
+    Theta(F, O) = (1/l) * sum_i  (1/|V_i|) * sum_{O_j in V_i} rho(F_i, O_j).
+
+``Theta`` is 1 when the structures coincide and 0 when they are disjoint.
+It is well-defined for overlapping structures — the property Figures 2
+and 3 of the paper rely on.
+
+Edge-case conventions (the paper leaves them implicit):
+
+* If ``V_i`` is empty (no observed community prefers ``F_i``), that real
+  community contributes 0 — it was simply not found.
+* Ties in the argmax are broken toward the smallest index ``k``, making
+  the measure deterministic.
+* An empty observed structure scores 0; comparing an empty real structure
+  raises, as the measure is undefined for ``l = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set
+
+from ..errors import CommunityError
+from .cover import Cover
+from .similarity import rho
+
+__all__ = ["theta", "best_match_assignment"]
+
+Node = Hashable
+
+
+def best_match_assignment(real: Cover, observed: Cover) -> Dict[int, List[int]]:
+    """Map each real-community index ``i`` to the observed indices in ``V_i``.
+
+    Implements the attribution step of Eq. (V.2): observed community ``j``
+    lands in ``V_i`` where ``i`` is the argmax of ``rho(F_i, O_j)`` (ties
+    to the smallest ``i``).  Real communities nothing prefers map to an
+    empty list.
+    """
+    if len(real) == 0:
+        raise CommunityError("Theta is undefined for an empty real structure")
+    assignment: Dict[int, List[int]] = {i: [] for i in range(len(real))}
+    for j, observed_community in enumerate(observed):
+        best_index = 0
+        best_value = -1.0
+        for i, real_community in enumerate(real):
+            value = rho(real_community, observed_community)
+            if value > best_value:
+                best_value = value
+                best_index = i
+        assignment[best_index].append(j)
+    return assignment
+
+
+def theta(real: Cover, observed: Cover) -> float:
+    """Suitability ``Theta(F, O)`` per Eq. (V.2); a value in ``[0, 1]``."""
+    assignment = best_match_assignment(real, observed)
+    total = 0.0
+    for i, attributed in assignment.items():
+        if not attributed:
+            continue
+        real_community = real[i]
+        match_quality = sum(rho(real_community, observed[j]) for j in attributed)
+        total += match_quality / len(attributed)
+    return total / len(real)

@@ -1,0 +1,216 @@
+"""OCA — Overlapping Community Search (Section IV of the paper).
+
+The driver repeats one independent procedure: pick a seed, take a random
+neighbourhood of it, and greedily climb the directed-Laplacian fitness
+``L`` to a local maximum.  Each local maximum is a community; duplicates
+across runs are collapsed; the configured halting criterion (plus seed
+exhaustion) ends the loop; post-processing merges near-duplicate
+communities and, on request, assigns orphan nodes.
+
+Typical use::
+
+    from repro import oca
+    from repro.generators import daisy_tree
+
+    instance = daisy_tree(flowers=5, seed=7)
+    result = oca(instance.graph, seed=7)
+    print(result.cover)
+
+The functional wrapper :func:`oca` covers common cases; the :class:`OCA`
+class exposes the full configuration surface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+from .._rng import SeedLike, as_random
+from ..communities import Cover
+from ..errors import AlgorithmError
+from ..graph import Graph, random_neighborhood_subset
+from .config import OCAConfig
+from .fitness import DirectedLaplacianFitness, FitnessFunction
+from .growth import grow_community
+from .halting import RunStatistics
+from .postprocess import postprocess
+from .seeding import SeedingStrategy, make_seeding
+from .vector_space import admissible_c
+
+__all__ = ["OCAResult", "OCA", "oca"]
+
+Node = Hashable
+
+
+@dataclass
+class OCAResult:
+    """Everything an OCA execution produced.
+
+    Attributes
+    ----------
+    cover:
+        The final (post-processed) overlapping community structure.
+    raw_cover:
+        Local optima before post-processing (after dedup).
+    c:
+        The inner-product value actually used.
+    runs:
+        Local searches performed.
+    duplicate_runs:
+        Runs that rediscovered an already-known community.
+    discarded_small:
+        Local optima dropped by the minimum-size filter.
+    fitness_values:
+        Fitness of each distinct raw community, in discovery order.
+    elapsed_seconds:
+        Wall-clock duration of the whole execution.
+    """
+
+    cover: Cover
+    raw_cover: Cover
+    c: float
+    runs: int
+    duplicate_runs: int
+    discarded_small: int
+    fitness_values: List[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"OCAResult(communities={len(self.cover)}, runs={self.runs}, "
+            f"c={self.c:.4f}, elapsed={self.elapsed_seconds:.3f}s)"
+        )
+
+
+class OCA:
+    """The Overlapping Community Search algorithm.
+
+    Parameters
+    ----------
+    config:
+        An :class:`~repro.core.config.OCAConfig`; defaults are sensible
+        for ground-truth benchmarks (uncovered-first seeding, stagnation
+        halting, merge threshold 0.75).
+
+    Notes
+    -----
+    The instance is stateless across :meth:`run` calls except for the
+    immutable configuration, so one ``OCA`` object can be reused across
+    graphs and seeds.
+    """
+
+    def __init__(self, config: Optional[OCAConfig] = None) -> None:
+        self.config = config or OCAConfig()
+
+    # ------------------------------------------------------------------
+    def _resolve_c(self, graph: Graph, seed: SeedLike) -> float:
+        if self.config.c is not None:
+            return self.config.c
+        return admissible_c(
+            graph,
+            tol=self.config.spectral_tol,
+            max_iterations=self.config.spectral_max_iterations,
+            seed=seed,
+        )
+
+    def _resolve_seeding(self) -> SeedingStrategy:
+        seeding = self.config.seeding
+        if isinstance(seeding, str):
+            return make_seeding(seeding)
+        return seeding
+
+    # ------------------------------------------------------------------
+    def run(self, graph: Graph, seed: SeedLike = None) -> OCAResult:
+        """Execute OCA on ``graph``; fully deterministic given ``seed``."""
+        start = time.perf_counter()
+        n = graph.number_of_nodes()
+        if n == 0:
+            return OCAResult(
+                cover=Cover(),
+                raw_cover=Cover(),
+                c=0.0,
+                runs=0,
+                duplicate_runs=0,
+                discarded_small=0,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        rng = as_random(seed)
+        c = self._resolve_c(graph, rng)
+        if self.config.fitness is not None:
+            fitness: FitnessFunction = self.config.fitness
+        else:
+            fitness = DirectedLaplacianFitness(c)
+        seeding = self._resolve_seeding()
+        halting = self.config.halting
+
+        found: Dict[frozenset, float] = {}
+        covered: Set[Node] = set()
+        stats = RunStatistics()
+        discarded_small = 0
+        duplicate_runs = 0
+
+        while not halting.should_stop(stats):
+            seed_node = seeding.next_seed(graph, covered, rng)
+            if seed_node is None:
+                break
+            initial = random_neighborhood_subset(
+                graph, seed_node, fraction=self.config.seed_fraction, seed=rng
+            )
+            growth = grow_community(
+                graph,
+                initial,
+                fitness,
+                max_steps=self.config.max_growth_steps,
+            )
+            stats.runs += 1
+            community = growth.members
+            if len(community) < self.config.min_community_size:
+                discarded_small += 1
+                stats.consecutive_duplicates += 1
+                continue
+            if community in found:
+                duplicate_runs += 1
+                stats.consecutive_duplicates += 1
+                continue
+            found[community] = growth.fitness_value
+            covered |= community
+            stats.communities = len(found)
+            stats.covered_fraction = len(covered) / n
+            stats.consecutive_duplicates = 0
+
+        raw_cover = Cover(found)
+        final_cover = postprocess(
+            graph,
+            raw_cover,
+            merge_threshold=self.config.merge_threshold,
+            orphans=self.config.assign_orphans,
+        )
+        return OCAResult(
+            cover=final_cover,
+            raw_cover=raw_cover,
+            c=c,
+            runs=stats.runs,
+            duplicate_runs=duplicate_runs,
+            discarded_small=discarded_small,
+            fitness_values=list(found.values()),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+
+def oca(
+    graph: Graph,
+    seed: SeedLike = None,
+    config: Optional[OCAConfig] = None,
+    **overrides,
+) -> OCAResult:
+    """Functional entry point: run OCA with default or overridden config.
+
+    Keyword overrides are applied on top of ``config`` (or the default
+    configuration), e.g. ``oca(g, merge_threshold=0.9, assign_orphans=True)``.
+    """
+    if config is not None and overrides:
+        raise AlgorithmError("pass either a config object or overrides, not both")
+    if config is None:
+        config = OCAConfig(**overrides)
+    return OCA(config).run(graph, seed=seed)

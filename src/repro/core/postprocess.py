@@ -1,0 +1,176 @@
+"""Post-processing of raw OCA output (Section IV of the paper).
+
+Two steps, both optional and both applied by default:
+
+1.  **Merging "too similar" communities.**  Independent local searches
+    frequently converge to communities "that differ in very few nodes";
+    these are merged.  Similarity is the paper's own ``rho`` (Eq. V.1);
+    pairs at or above the threshold merge by union, repeatedly, until no
+    pair qualifies (the union of two similar communities can become
+    similar to a third).
+
+2.  **Orphan assignment.**  When the application needs every node in at
+    least one community, "we just assign each 'orphan node' to the
+    community to which most of its neighbors belong."  Ties break toward
+    the larger community, then deterministically by community order.
+    Orphans whose neighbours are all orphans too are resolved by
+    iterating to a fixed point; nodes in components containing no
+    community at all become one fresh community per such component,
+    which keeps the procedure total.
+
+The paper notes these post-processing techniques "also improve the
+quality of the other algorithms", and Figure 2 applies them to all three;
+the functions here are algorithm-agnostic for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from ..communities import Cover, rho
+from ..errors import ConfigurationError
+from ..graph import Graph, connected_components
+
+__all__ = ["merge_similar", "assign_orphans", "postprocess"]
+
+Node = Hashable
+
+
+def merge_similar(cover: Cover, threshold: float = 0.75) -> Cover:
+    """Merge every pair of communities with ``rho >= threshold``.
+
+    Runs to a fixed point.  ``threshold`` must lie in ``(0, 1]``; 1 merges
+    only exact duplicates (which :class:`Cover` already collapses, so 1 is
+    a no-op), smaller values merge ever more aggressively.
+
+    Complexity: disjoint communities have ``rho = 0``, so only pairs
+    sharing at least one node are candidates; each pass indexes
+    communities by node and compares only those pairs.  On covers whose
+    communities overlap sparsely (the common case — OCA output on large
+    graphs) a pass is near-linear in the cover's total size rather than
+    quadratic in the community count.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(f"threshold must lie in (0, 1], got {threshold}")
+    communities: List[Set[Node]] = cover.as_sets()
+    while True:
+        by_node: Dict[Node, List[int]] = {}
+        for index, community in enumerate(communities):
+            for node in community:
+                by_node.setdefault(node, []).append(index)
+        candidate_pairs = {
+            (ids[i], ids[j])
+            for ids in by_node.values()
+            for i in range(len(ids))
+            for j in range(i + 1, len(ids))
+        }
+        # Union-find over community indices; merged sets grow in place at
+        # their root, matching the greedy immediate-union semantics.
+        parent = list(range(len(communities)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        merged_any = False
+        for a, b in sorted(candidate_pairs):
+            root_a, root_b = find(a), find(b)
+            if root_a == root_b:
+                continue
+            if rho(communities[root_a], communities[root_b]) >= threshold:
+                communities[root_a] |= communities[root_b]
+                parent[root_b] = root_a
+                merged_any = True
+        if not merged_any:
+            break
+        communities = [
+            communities[index]
+            for index in range(len(communities))
+            if find(index) == index
+        ]
+    return Cover(communities)
+
+
+def _best_home(
+    graph: Graph,
+    node: Node,
+    communities: List[Set[Node]],
+    community_of: Dict[Node, List[int]],
+) -> Optional[int]:
+    """Index of the community holding most neighbours of ``node``.
+
+    Ties break toward the larger community, then the smaller index.
+    Returns ``None`` when no neighbour is covered.
+    """
+    votes: Dict[int, int] = {}
+    for neighbour in graph.neighbors(node):
+        for index in community_of.get(neighbour, ()):
+            votes[index] = votes.get(index, 0) + 1
+    if not votes:
+        return None
+    return max(votes, key=lambda index: (votes[index], len(communities[index]), -index))
+
+
+def assign_orphans(graph: Graph, cover: Cover) -> Cover:
+    """Extend ``cover`` so every graph node belongs to >= 1 community.
+
+    Implements the paper's majority-of-neighbours rule, iterated in waves
+    so that orphans adjacent only to other orphans eventually inherit a
+    home through their newly-assigned neighbours.  Components containing
+    no community member at all become one new community each.
+    """
+    communities: List[Set[Node]] = cover.as_sets()
+    community_of: Dict[Node, List[int]] = {}
+    for index, community in enumerate(communities):
+        for node in community:
+            community_of.setdefault(node, []).append(index)
+
+    orphans: Set[Node] = {
+        node for node in graph.nodes() if node not in community_of
+    }
+    # Waves: each pass assigns every orphan with >= 1 covered neighbour.
+    # Assignments land *between* passes so the vote inside a pass only
+    # sees pre-pass members (deterministic, order-independent).
+    while orphans:
+        placements: List[Tuple[Node, int]] = []
+        for node in orphans:
+            home = _best_home(graph, node, communities, community_of)
+            if home is not None:
+                placements.append((node, home))
+        if not placements:
+            break
+        for node, home in placements:
+            communities[home].add(node)
+            community_of.setdefault(node, []).append(home)
+            orphans.discard(node)
+
+    if orphans:
+        # Whole components without any community: one community each.
+        leftover_subgraph_nodes = orphans
+        for component in connected_components(graph):
+            stranded = component & leftover_subgraph_nodes
+            if stranded:
+                communities.append(set(stranded))
+    return Cover(communities)
+
+
+def postprocess(
+    graph: Graph,
+    cover: Cover,
+    merge_threshold: Optional[float] = 0.75,
+    orphans: bool = False,
+) -> Cover:
+    """Apply the full Section-IV pipeline: merge, then orphan assignment.
+
+    ``merge_threshold=None`` skips merging; ``orphans=False`` (default)
+    skips orphan assignment, matching the paper's stance that full
+    coverage is only needed "in some cases".
+    """
+    result = cover
+    if merge_threshold is not None:
+        result = merge_similar(result, merge_threshold)
+    if orphans:
+        result = assign_orphans(graph, result)
+    return result

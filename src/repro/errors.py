@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class.  The
+sub-classes mirror the package layout: graph construction problems raise
+:class:`GraphError`, community-structure problems raise
+:class:`CommunityError`, generator parameter problems raise
+:class:`GeneratorError`, and algorithm configuration problems raise
+:class:`AlgorithmError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "GraphFormatError",
+    "CommunityError",
+    "EmptyCommunityError",
+    "GeneratorError",
+    "AlgorithmError",
+    "ConvergenceError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A problem with a graph object or an operation on it."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by an operation is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class GraphFormatError(GraphError, ValueError):
+    """A serialized graph could not be parsed."""
+
+
+class CommunityError(ReproError):
+    """A problem with a community, cover, or partition object."""
+
+
+class EmptyCommunityError(CommunityError, ValueError):
+    """A community with no members was supplied where members are required."""
+
+
+class GeneratorError(ReproError, ValueError):
+    """Invalid parameters supplied to a synthetic graph generator."""
+
+
+class AlgorithmError(ReproError):
+    """A community-search algorithm failed or was misconfigured."""
+
+
+class ConvergenceError(AlgorithmError, RuntimeError):
+    """An iterative numerical routine failed to converge.
+
+    Raised, for example, by the power method in :mod:`repro.core.spectral`
+    when the requested tolerance is not reached within the iteration budget.
+    """
+
+    def __init__(self, message: str, iterations: int, residual: float) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ConfigurationError(AlgorithmError, ValueError):
+    """An algorithm configuration value is out of its valid range."""

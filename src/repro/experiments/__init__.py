@@ -1,0 +1,57 @@
+"""The experiment harness: one module per paper artefact.
+
+========  =====================================  =======================
+Artefact  Module                                 Bench target
+========  =====================================  =======================
+Table I   :mod:`~repro.experiments.table1`       bench_table1.py
+Figure 2  :mod:`~repro.experiments.figure2`      bench_figure2.py
+Figure 3  :mod:`~repro.experiments.figure3`      bench_figure3.py
+Figure 4  :mod:`~repro.experiments.figure4`      bench_figure4.py
+Figure 5  :mod:`~repro.experiments.figure5`      bench_figure5.py
+Figure 6  :mod:`~repro.experiments.figure6`      bench_figure6.py
+§V-B run  :mod:`~repro.experiments.wikipedia_run`  bench_wikipedia.py
+========  =====================================  =======================
+"""
+
+from .timing import Timer, time_call, TimingLog
+from .reporting import ascii_table, Series, series_table
+from .runner import AlgorithmRun, run_algorithm, ALGORITHMS
+from .table1 import Table1Row, Table1Result, run_table1
+from .figure2 import Figure2Result, run_figure2, DEFAULT_MUS
+from .figure3 import Figure3Result, run_figure3, DEFAULT_FLOWER_COUNTS
+from .figure4 import Figure4Result, PartMatch, run_figure4
+from .figure5 import Figure5Result, run_figure5, DEFAULT_SIZES
+from .figure6 import Figure6Result, run_figure6, DEFAULT_COMMUNITY_SIZES
+from .wikipedia_run import WikipediaRunResult, run_wikipedia
+
+__all__ = [
+    "Timer",
+    "time_call",
+    "TimingLog",
+    "ascii_table",
+    "Series",
+    "series_table",
+    "AlgorithmRun",
+    "run_algorithm",
+    "ALGORITHMS",
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "Figure2Result",
+    "run_figure2",
+    "DEFAULT_MUS",
+    "Figure3Result",
+    "run_figure3",
+    "DEFAULT_FLOWER_COUNTS",
+    "Figure4Result",
+    "PartMatch",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "DEFAULT_SIZES",
+    "Figure6Result",
+    "run_figure6",
+    "DEFAULT_COMMUNITY_SIZES",
+    "WikipediaRunResult",
+    "run_wikipedia",
+]

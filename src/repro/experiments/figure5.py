@@ -1,0 +1,101 @@
+"""Figure 5: execution time against graph size (log-scale y in the paper).
+
+The paper generates LFR graphs with av.deg = 50, max.deg = 150 and
+community sizes in [500, 700], sweeps n from 5,000 to 25,000, and times
+the three algorithms *without post-processing*.  Expected shape:
+
+* CFinder is orders of magnitude slower and blows up first (the clique
+  enumeration), to the point the paper discards it for larger graphs;
+* OCA is the fastest and scales near-linearly;
+* LFK sits between the two.
+
+The default parameters here are scaled down proportionally (Python
+substrate, see DESIGN.md §2); ``paper_scale=True`` restores the paper's
+exact generator parameters for long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .._rng import SeedLike, as_random, spawn_seed
+from ..generators import LFRParams, lfr_graph
+from .reporting import Series, series_table
+from .runner import run_algorithm
+
+__all__ = ["Figure5Result", "run_figure5", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (500, 1000, 2000, 4000)
+
+#: CFinder is dropped from sizes above this default cap, mirroring the
+#: paper's "prohibitively slow ... we discard it" decision.
+DEFAULT_CFINDER_CAP = 2000
+
+
+@dataclass
+class Figure5Result:
+    """Runtime-vs-n series per algorithm (CFinder may stop early)."""
+
+    series: List[Series] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The figure's data as an aligned text table (seconds)."""
+        return series_table(self.series, x_label="nodes")
+
+    def series_by_name(self, name: str) -> Series:
+        """The curve of one algorithm."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+
+def _params_for(n: int, paper_scale: bool) -> LFRParams:
+    if paper_scale:
+        return LFRParams(
+            n=n,
+            mu=0.3,
+            average_degree=50.0,
+            max_degree=150,
+            min_community=500,
+            max_community=700,
+        )
+    return LFRParams(
+        n=n,
+        mu=0.3,
+        average_degree=20.0,
+        max_degree=60,
+        min_community=40,
+        max_community=80,
+    )
+
+
+def run_figure5(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    algorithms: Sequence[str] = ("OCA", "LFK", "CFinder"),
+    cfinder_cap: Optional[int] = DEFAULT_CFINDER_CAP,
+    paper_scale: bool = False,
+    seed: SeedLike = None,
+) -> Figure5Result:
+    """Reproduce Figure 5 at a configurable scale.
+
+    No post-processing is applied (matching the paper).  ``cfinder_cap``
+    skips CFinder above that size; ``None`` never skips.
+    """
+    rng = as_random(seed)
+    result = Figure5Result(series=[Series(name) for name in algorithms])
+    for n in sizes:
+        instance = lfr_graph(_params_for(n, paper_scale), seed=spawn_seed(rng))
+        for series, name in zip(result.series, algorithms):
+            if name == "CFinder" and cfinder_cap is not None and n > cfinder_cap:
+                continue
+            run = run_algorithm(
+                name, instance.graph, seed=spawn_seed(rng), quality_mode=False
+            )
+            series.append(n, run.elapsed_seconds)
+    return result
+
+
+if __name__ == "__main__":
+    print(run_figure5(seed=0).render())

@@ -1,0 +1,91 @@
+"""Figure 6: execution time against planted community size ``k``.
+
+The paper generates LFR graphs whose community sizes fall in
+``[k, k + 50]`` for increasing ``k`` (50 .. 450), with av.deg = 50 and
+max.deg = 150, and times OCA and LFK ("CFinder was not able to perform
+these experiments in a reasonable time").  Expected shape: OCA's runtime
+stays roughly flat as communities grow, while LFK's climbs — the paper's
+"support of big communities" claim.
+
+Scaled defaults below keep the sweep in seconds; ``paper_scale=True``
+restores the paper's generator parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .._rng import SeedLike, as_random, spawn_seed
+from ..generators import LFRParams, lfr_graph
+from .reporting import Series, series_table
+from .runner import run_algorithm
+
+__all__ = ["Figure6Result", "run_figure6", "DEFAULT_COMMUNITY_SIZES"]
+
+DEFAULT_COMMUNITY_SIZES = (100, 150, 200, 300, 400)
+
+
+@dataclass
+class Figure6Result:
+    """Runtime-vs-community-size series for OCA and LFK."""
+
+    series: List[Series] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The figure's data as an aligned text table (seconds)."""
+        return series_table(self.series, x_label="community size k")
+
+    def series_by_name(self, name: str) -> Series:
+        """The curve of one algorithm."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+
+def run_figure6(
+    community_sizes: Sequence[int] = DEFAULT_COMMUNITY_SIZES,
+    n: int = 2000,
+    algorithms: Sequence[str] = ("OCA", "LFK"),
+    size_window: int = 50,
+    paper_scale: bool = False,
+    seed: SeedLike = None,
+) -> Figure6Result:
+    """Reproduce Figure 6 at a configurable scale.
+
+    Communities are planted with sizes in ``[k, k + size_window]``, the
+    paper's window.  No post-processing (timing experiment).
+    """
+    rng = as_random(seed)
+    result = Figure6Result(series=[Series(name) for name in algorithms])
+    for k in community_sizes:
+        if paper_scale:
+            params = LFRParams(
+                n=n,
+                mu=0.3,
+                average_degree=50.0,
+                max_degree=150,
+                min_community=k,
+                max_community=k + 50,
+            )
+        else:
+            params = LFRParams(
+                n=n,
+                mu=0.3,
+                average_degree=20.0,
+                max_degree=60,
+                min_community=k,
+                max_community=k + size_window,
+            )
+        instance = lfr_graph(params, seed=spawn_seed(rng))
+        for series, name in zip(result.series, algorithms):
+            run = run_algorithm(
+                name, instance.graph, seed=spawn_seed(rng), quality_mode=False
+            )
+            series.append(k, run.elapsed_seconds)
+    return result
+
+
+if __name__ == "__main__":
+    print(run_figure6(seed=0).render())

@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's figures are line charts; this reproduction regenerates the
+*data* behind each figure and renders it as aligned text tables (the
+series) so a terminal run of the benchmark suite shows the same numbers
+the plots would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["ascii_table", "Series", "series_table"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned ASCII table with a header rule."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(line(row) for row in rendered_rows)
+    return "\n".join([line(list(headers)), rule, body]) if rendered_rows else "\n".join(
+        [line(list(headers)), rule]
+    )
+
+
+@dataclass
+class Series:
+    """One named curve: parallel x and y sequences."""
+
+    name: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        """Add one point."""
+        self.xs.append(x)
+        self.ys.append(y)
+
+
+def series_table(series: Sequence[Series], x_label: str) -> str:
+    """Render several curves sharing an x-axis as one table.
+
+    Missing points (a curve lacking some x) render as ``-`` — Figure 5's
+    CFinder column stops early, for example.
+    """
+    xs: List[float] = sorted({x for s in series for x in s.xs})
+    headers = [x_label] + [s.name for s in series]
+    lookup: List[Dict[float, float]] = [dict(zip(s.xs, s.ys)) for s in series]
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for points in lookup:
+            row.append(points.get(x, "-"))
+        rows.append(row)
+    return ascii_table(headers, rows)

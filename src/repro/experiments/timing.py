@@ -1,0 +1,59 @@
+"""Wall-clock instrumentation for the runtime experiments (Figures 5/6)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = ["Timer", "time_call", "TimingLog"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as timer:
+    ...     total = sum(range(1000))
+    >>> total
+    499500
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_call(function: Callable, *args, **kwargs) -> Tuple[Any, float]:
+    """Call ``function`` and return ``(result, elapsed_seconds)``."""
+    with Timer() as timer:
+        result = function(*args, **kwargs)
+    return result, timer.elapsed
+
+
+@dataclass
+class TimingLog:
+    """Accumulates named timing samples across an experiment sweep."""
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Append one sample under ``name``."""
+        self.samples.setdefault(name, []).append(seconds)
+
+    def mean(self, name: str) -> float:
+        """Mean of the samples recorded under ``name``."""
+        values = self.samples[name]
+        return sum(values) / len(values)
+
+    def total(self, name: str) -> float:
+        """Sum of the samples recorded under ``name``."""
+        return sum(self.samples[name])

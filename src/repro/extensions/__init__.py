@@ -1,0 +1,54 @@
+"""Future-work extensions sketched in the paper's Section VI.
+
+* :mod:`~repro.extensions.hierarchy` — "explore the hierarchies and
+  relations among [the communities]": the community relation graph,
+  containment forests, and multi-resolution OCA over a ``c`` ladder.
+* :mod:`~repro.extensions.summarization` — "graph summarization for
+  graphs containing overlapped communities": overlap-aware supernode
+  summaries with an expected-adjacency model and reconstruction error.
+
+These go beyond the published evaluation; EXPERIMENTS.md marks their
+benches as extensions rather than reproductions.
+"""
+
+from .hierarchy import (
+    CommunityRelation,
+    community_graph,
+    containment_forest,
+    HierarchyLevel,
+    hierarchical_oca,
+)
+from .summarization import (
+    RESIDUAL,
+    Supernode,
+    Superedge,
+    GraphSummaryModel,
+    summarize_graph,
+    reconstruction_error,
+)
+from .consensus import (
+    co_membership,
+    consensus_cover,
+    cover_stability,
+    ConsensusResult,
+    consensus_oca,
+)
+
+__all__ = [
+    "CommunityRelation",
+    "community_graph",
+    "containment_forest",
+    "HierarchyLevel",
+    "hierarchical_oca",
+    "RESIDUAL",
+    "Supernode",
+    "Superedge",
+    "GraphSummaryModel",
+    "summarize_graph",
+    "reconstruction_error",
+    "co_membership",
+    "consensus_cover",
+    "cover_stability",
+    "ConsensusResult",
+    "consensus_oca",
+]

@@ -1,0 +1,190 @@
+"""Consensus covers: stabilising OCA's randomised output.
+
+OCA is a randomised algorithm — different seeds can produce different
+local optima.  For applications that need a *stable* answer, the standard
+remedy is consensus clustering: run several times, record how often each
+node pair lands in a common community, and keep what the runs agree on.
+
+:func:`co_membership` computes pairwise agreement counts (a diagnostic);
+:func:`consensus_cover` builds the consensus at the *community* level —
+communities from different runs are grouped by ``rho`` similarity, groups
+recurring in enough runs survive, and each surviving group is reduced to
+the nodes a majority of its instances contain.  Community-level (rather
+than the classic pairwise/connected-components) consensus is essential
+here: overlap nodes co-occur with *both* of their communities in every
+run, so a co-membership graph fuses overlapping communities into one
+blob, destroying exactly the structure this library exists to find.
+:func:`cover_stability` summarises run-to-run agreement as a single
+number (mean pairwise ``Theta``), useful as a confidence diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from .._rng import SeedLike, as_random, spawn_seed
+from ..communities import Cover, theta
+from ..core import OCAConfig, oca
+from ..errors import CommunityError
+from ..graph import Graph
+
+__all__ = [
+    "co_membership",
+    "consensus_cover",
+    "cover_stability",
+    "ConsensusResult",
+    "consensus_oca",
+]
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+
+
+def _canonical_pair(u: Node, v: Node) -> Pair:
+    """An order-independent key for the pair ``{u, v}``."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def co_membership(covers: List[Cover]) -> Dict[Pair, int]:
+    """How many covers put each node pair in a common community.
+
+    Only pairs with at least one co-occurrence appear.
+    """
+    counts: Dict[Pair, int] = {}
+    for cover in covers:
+        seen: set = set()
+        for community in cover:
+            members = sorted(community, key=repr)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    key = (u, v)
+                    if key in seen:
+                        continue  # overlapping communities: count once per cover
+                    seen.add(key)
+                    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def consensus_cover(
+    covers: List[Cover],
+    threshold: float = 0.5,
+    match_threshold: float = 0.5,
+) -> Cover:
+    """The consensus of several covers, overlap-preserving.
+
+    Communities from all covers are greedily grouped: a community joins
+    the first group whose representative it matches with
+    ``rho >= match_threshold``, else founds a new group (the
+    representative is the group's first member).  Groups recurring in at
+    least ``threshold`` fraction of the covers survive; each surviving
+    group is reduced to the nodes present in a strict majority of its
+    instances.  Consensus communities smaller than 2 nodes are dropped.
+    """
+    if not covers:
+        raise CommunityError("consensus needs at least one cover")
+    if not 0.0 < threshold <= 1.0:
+        raise CommunityError(f"threshold must lie in (0, 1], got {threshold}")
+    if not 0.0 < match_threshold <= 1.0:
+        raise CommunityError(
+            f"match_threshold must lie in (0, 1], got {match_threshold}"
+        )
+
+    # group -> (representative, per-run instances, runs seen)
+    representatives: List[FrozenSet[Node]] = []
+    instances: List[List[FrozenSet[Node]]] = []
+    runs_seen: List[set] = []
+    from ..communities import rho
+
+    for run_index, cover in enumerate(covers):
+        for community in cover:
+            best_group = -1
+            best_value = match_threshold
+            for group, representative in enumerate(representatives):
+                value = rho(representative, community)
+                if value >= best_value:
+                    best_value = value
+                    best_group = group
+            if best_group == -1:
+                representatives.append(frozenset(community))
+                instances.append([frozenset(community)])
+                runs_seen.append({run_index})
+            else:
+                instances[best_group].append(frozenset(community))
+                runs_seen[best_group].add(run_index)
+
+    needed_runs = threshold * len(covers)
+    consensus: List[set] = []
+    for group, members in enumerate(instances):
+        if len(runs_seen[group]) < needed_runs:
+            continue
+        votes: Dict[Node, int] = {}
+        for instance in members:
+            for node in instance:
+                votes[node] = votes.get(node, 0) + 1
+        majority = {node for node, count in votes.items() if 2 * count > len(members)}
+        if len(majority) >= 2:
+            consensus.append(majority)
+    return Cover(consensus)
+
+
+def cover_stability(covers: List[Cover]) -> float:
+    """Mean pairwise ``Theta`` across the covers, in ``[0, 1]``.
+
+    1.0 means every run produced the same structure.  Needs >= 2 covers.
+    """
+    if len(covers) < 2:
+        raise CommunityError("stability needs at least two covers")
+    total = 0.0
+    pairs = 0
+    for i in range(len(covers)):
+        for j in range(i + 1, len(covers)):
+            if len(covers[i]) == 0 or len(covers[j]) == 0:
+                continue
+            # Symmetrise: Theta is not symmetric in its arguments.
+            total += (theta(covers[i], covers[j]) + theta(covers[j], covers[i])) / 2
+            pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+@dataclass
+class ConsensusResult:
+    """Outcome of :func:`consensus_oca`."""
+
+    cover: Cover
+    runs: List[Cover]
+    stability: float
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsensusResult(communities={len(self.cover)}, "
+            f"runs={len(self.runs)}, stability={self.stability:.3f})"
+        )
+
+
+def consensus_oca(
+    graph: Graph,
+    runs: int = 5,
+    threshold: float = 0.5,
+    seed: SeedLike = None,
+    config: Optional[OCAConfig] = None,
+) -> ConsensusResult:
+    """Run OCA ``runs`` times and return the consensus structure.
+
+    Each run gets an independent seed derived from ``seed``; the
+    consensus keeps node pairs co-assigned in at least ``threshold`` of
+    the runs.  The per-run covers and the stability diagnostic ride
+    along in the result.
+    """
+    if runs < 1:
+        raise CommunityError(f"runs must be >= 1, got {runs}")
+    rng = as_random(seed)
+    covers = [
+        oca(graph, seed=spawn_seed(rng), config=config).cover for _ in range(runs)
+    ]
+    stability = cover_stability(covers) if runs >= 2 else 1.0
+    return ConsensusResult(
+        cover=consensus_cover(covers, threshold=threshold),
+        runs=covers,
+        stability=stability,
+    )

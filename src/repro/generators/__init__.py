@@ -1,0 +1,62 @@
+"""Synthetic graph generators: the paper's benchmarks, from scratch.
+
+* :mod:`~repro.generators.lfr` — the LFR benchmark with mixing parameter
+  ``mu`` (Figures 2, 5, 6).
+* :mod:`~repro.generators.daisy` — daisy flowers and daisy trees, the
+  paper's own overlapping benchmark (Figures 3, 4).
+* :mod:`~repro.generators.wikipedia` — the scale-free substitute for the
+  Wikipedia dataset (Section V-B final experiment).
+* :mod:`~repro.generators.classic` — small closed-form oracles for tests
+  and examples.
+"""
+
+from .powerlaw import (
+    powerlaw_weights,
+    powerlaw_mean,
+    sample_powerlaw,
+    min_bound_for_mean,
+    sample_degree_sequence,
+    sample_sizes_to_total,
+)
+from .lfr import LFRParams, LFRInstance, lfr_graph
+from .daisy import DaisyParams, DaisyInstance, daisy_graph, daisy_tree
+from .wikipedia import WikipediaParams, WikipediaInstance, wikipedia_like_graph
+from .classic import (
+    complete_graph,
+    path_graph,
+    cycle_graph,
+    star_graph,
+    erdos_renyi,
+    ring_of_cliques,
+    caveman_graph,
+    two_cliques_bridged,
+    karate_club,
+)
+
+__all__ = [
+    "powerlaw_weights",
+    "powerlaw_mean",
+    "sample_powerlaw",
+    "min_bound_for_mean",
+    "sample_degree_sequence",
+    "sample_sizes_to_total",
+    "LFRParams",
+    "LFRInstance",
+    "lfr_graph",
+    "DaisyParams",
+    "DaisyInstance",
+    "daisy_graph",
+    "daisy_tree",
+    "WikipediaParams",
+    "WikipediaInstance",
+    "wikipedia_like_graph",
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "erdos_renyi",
+    "ring_of_cliques",
+    "caveman_graph",
+    "two_cliques_bridged",
+    "karate_club",
+]

@@ -1,0 +1,202 @@
+"""Classic deterministic and random graphs.
+
+Small, well-understood instances used throughout the test-suite and the
+examples: their spectra, clique structure, and community structure are
+known in closed form, which makes them ideal oracles for the OCA
+machinery (e.g. ``lambda_min(K_n) = -1``, so ``c`` clamps just below 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .._rng import SeedLike, as_random
+from ..communities import Cover
+from ..errors import GeneratorError
+from ..graph import Graph
+
+__all__ = [
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "erdos_renyi",
+    "ring_of_cliques",
+    "caveman_graph",
+    "two_cliques_bridged",
+    "karate_club",
+]
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    if n < 0:
+        raise GeneratorError(f"n must be non-negative, got {n}")
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def path_graph(n: int) -> Graph:
+    """The path on ``n`` nodes (``n - 1`` edges)."""
+    if n < 0:
+        raise GeneratorError(f"n must be non-negative, got {n}")
+    graph = Graph(nodes=range(n))
+    for u in range(n - 1):
+        graph.add_edge(u, u + 1)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise GeneratorError(f"a cycle needs n >= 3, got {n}")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star: node 0 joined to ``leaves`` leaf nodes."""
+    if leaves < 0:
+        raise GeneratorError(f"leaves must be non-negative, got {leaves}")
+    graph = Graph(nodes=range(leaves + 1))
+    for leaf in range(1, leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def erdos_renyi(n: int, probability: float, seed: SeedLike = None) -> Graph:
+    """The ``G(n, p)`` random graph."""
+    if n < 0:
+        raise GeneratorError(f"n must be non-negative, got {n}")
+    if not 0.0 <= probability <= 1.0:
+        raise GeneratorError(f"probability must lie in [0, 1], got {probability}")
+    rng = as_random(seed)
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def ring_of_cliques(cliques: int, clique_size: int) -> tuple[Graph, Cover]:
+    """``cliques`` cliques of ``clique_size`` joined in a ring by single
+    edges; returns the graph and the planted (clique) cover.
+
+    A classic community-detection oracle: each clique is unambiguously
+    one community.
+    """
+    if cliques < 3:
+        raise GeneratorError(f"need >= 3 cliques for a ring, got {cliques}")
+    if clique_size < 2:
+        raise GeneratorError(f"clique_size must be >= 2, got {clique_size}")
+    graph = Graph(nodes=range(cliques * clique_size))
+    communities: List[Set[int]] = []
+    for c in range(cliques):
+        base = c * clique_size
+        members = set(range(base, base + clique_size))
+        communities.append(members)
+        for u in range(base, base + clique_size):
+            for v in range(u + 1, base + clique_size):
+                graph.add_edge(u, v)
+    for c in range(cliques):
+        # Bridge: last node of clique c to first node of clique c+1.
+        u = c * clique_size + clique_size - 1
+        v = ((c + 1) % cliques) * clique_size
+        graph.add_edge(u, v)
+    return graph, Cover(communities)
+
+
+def caveman_graph(caves: int, cave_size: int) -> tuple[Graph, Cover]:
+    """The connected caveman graph: cliques with one edge rewired to the
+    next clique; returns graph and planted cover."""
+    if caves < 2:
+        raise GeneratorError(f"need >= 2 caves, got {caves}")
+    if cave_size < 3:
+        raise GeneratorError(f"cave_size must be >= 3, got {cave_size}")
+    graph = Graph(nodes=range(caves * cave_size))
+    communities: List[Set[int]] = []
+    for c in range(caves):
+        base = c * cave_size
+        members = set(range(base, base + cave_size))
+        communities.append(members)
+        for u in range(base, base + cave_size):
+            for v in range(u + 1, base + cave_size):
+                graph.add_edge(u, v)
+        # Rewire one internal edge to the next cave.
+        graph.remove_edge(base, base + 1)
+        graph.add_edge(base, ((c + 1) % caves) * cave_size + 1)
+    return graph, Cover(communities)
+
+
+def two_cliques_bridged(clique_size: int, bridge_nodes: int = 1) -> tuple[Graph, Cover]:
+    """Two cliques sharing ``bridge_nodes`` common nodes — the smallest
+    honest overlapping-community instance.
+
+    Returns the graph and the two overlapping ground-truth communities.
+    """
+    if clique_size < 3:
+        raise GeneratorError(f"clique_size must be >= 3, got {clique_size}")
+    if not 1 <= bridge_nodes < clique_size:
+        raise GeneratorError(
+            f"bridge_nodes must be in [1, clique_size), got {bridge_nodes}"
+        )
+    left = set(range(clique_size))
+    shared = set(range(clique_size - bridge_nodes, clique_size))
+    right = shared | set(range(clique_size, 2 * clique_size - bridge_nodes))
+    graph = Graph()
+    for group in (left, right):
+        members = sorted(group)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(u, v)
+    return graph, Cover([left, right])
+
+
+#: Zachary's karate club (1977): the canonical small social network.
+#: 34 members, 78 edges; the club famously split into two factions.
+_KARATE_EDGES = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
+    (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31),
+    (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30),
+    (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32),
+    (3, 7), (3, 12), (3, 13),
+    (4, 6), (4, 10),
+    (5, 6), (5, 10), (5, 16),
+    (6, 16),
+    (8, 30), (8, 32), (8, 33),
+    (9, 33),
+    (13, 33),
+    (14, 32), (14, 33),
+    (15, 32), (15, 33),
+    (18, 32), (18, 33),
+    (19, 33),
+    (20, 32), (20, 33),
+    (22, 32), (22, 33),
+    (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
+    (24, 25), (24, 27), (24, 31),
+    (25, 31),
+    (26, 29), (26, 33),
+    (27, 33),
+    (28, 31), (28, 33),
+    (29, 32), (29, 33),
+    (30, 32), (30, 33),
+    (31, 32), (31, 33),
+    (32, 33),
+]
+
+#: The observed two-faction split (Mr. Hi's faction vs. the officers').
+_KARATE_FACTIONS = [
+    {0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 16, 17, 19, 21},
+    {8, 9, 14, 15, 18, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33},
+]
+
+
+def karate_club() -> tuple[Graph, Cover]:
+    """Zachary's karate club with the observed two-faction ground truth."""
+    graph = Graph(edges=_KARATE_EDGES)
+    return graph, Cover(_KARATE_FACTIONS)

@@ -1,0 +1,158 @@
+"""Discrete power-law sampling utilities.
+
+The LFR benchmark draws both node degrees and community sizes from
+truncated discrete power laws; this module centralises that sampling plus
+the small root-finding needed to hit a target mean degree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._rng import SeedLike, as_numpy_rng
+from ..errors import GeneratorError
+
+__all__ = [
+    "powerlaw_weights",
+    "powerlaw_mean",
+    "sample_powerlaw",
+    "min_bound_for_mean",
+    "sample_degree_sequence",
+    "sample_sizes_to_total",
+]
+
+
+def powerlaw_weights(exponent: float, low: int, high: int) -> np.ndarray:
+    """Unnormalised weights ``k^-exponent`` for ``k`` in ``[low, high]``."""
+    if low < 1:
+        raise GeneratorError(f"power-law support must start at >= 1, got {low}")
+    if high < low:
+        raise GeneratorError(f"empty support: low={low} > high={high}")
+    support = np.arange(low, high + 1, dtype=np.float64)
+    return support ** (-exponent)
+
+
+def powerlaw_mean(exponent: float, low: int, high: int) -> float:
+    """The mean of the truncated discrete power law on ``[low, high]``."""
+    weights = powerlaw_weights(exponent, low, high)
+    support = np.arange(low, high + 1, dtype=np.float64)
+    return float(np.dot(support, weights) / weights.sum())
+
+
+def sample_powerlaw(
+    count: int,
+    exponent: float,
+    low: int,
+    high: int,
+    seed: SeedLike = None,
+) -> List[int]:
+    """Draw ``count`` integers from the truncated power law."""
+    if count < 0:
+        raise GeneratorError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return []
+    rng = as_numpy_rng(seed)
+    weights = powerlaw_weights(exponent, low, high)
+    probabilities = weights / weights.sum()
+    values = rng.choice(np.arange(low, high + 1), size=count, p=probabilities)
+    return [int(v) for v in values]
+
+
+def min_bound_for_mean(
+    target_mean: float, exponent: float, high: int
+) -> int:
+    """The ``low`` bound whose truncated power law best matches a mean.
+
+    Scans ``low`` upward (the mean is increasing in ``low``) and returns
+    the value minimising the absolute error to ``target_mean``.  Raises
+    when the target is unreachable (above the mean at ``low = high``).
+    """
+    if target_mean < 1.0:
+        raise GeneratorError(f"target mean degree must be >= 1, got {target_mean}")
+    if powerlaw_mean(exponent, high, high) < target_mean - 1e-9:
+        raise GeneratorError(
+            f"target mean {target_mean} exceeds max degree {high}"
+        )
+    best_low = 1
+    best_error = abs(powerlaw_mean(exponent, 1, high) - target_mean)
+    for low in range(2, high + 1):
+        error = abs(powerlaw_mean(exponent, low, high) - target_mean)
+        if error < best_error:
+            best_error = error
+            best_low = low
+        mean = powerlaw_mean(exponent, low, high)
+        if mean > target_mean and error > best_error:
+            break
+    return best_low
+
+
+def sample_degree_sequence(
+    n: int,
+    average_degree: float,
+    max_degree: int,
+    exponent: float = 2.0,
+    seed: SeedLike = None,
+) -> List[int]:
+    """A degree sequence of length ``n`` with roughly the requested mean.
+
+    Degrees follow a truncated power law with the given exponent; the
+    lower truncation point is solved from the mean constraint, and the
+    total is patched to even parity (a configuration-model requirement)
+    by bumping one node.
+    """
+    if n <= 0:
+        raise GeneratorError(f"n must be positive, got {n}")
+    if max_degree >= n:
+        raise GeneratorError(
+            f"max_degree {max_degree} must be below n {n} for a simple graph"
+        )
+    low = min_bound_for_mean(average_degree, exponent, max_degree)
+    degrees = sample_powerlaw(n, exponent, low, max_degree, seed=seed)
+    if sum(degrees) % 2 == 1:
+        # Flip the parity on some node that has headroom.
+        for index, degree in enumerate(degrees):
+            if degree < max_degree:
+                degrees[index] += 1
+                break
+        else:
+            degrees[0] -= 1
+    return degrees
+
+
+def sample_sizes_to_total(
+    total: int,
+    exponent: float,
+    low: int,
+    high: int,
+    seed: SeedLike = None,
+) -> List[int]:
+    """Community sizes summing to *at least* ``total``, last one clipped.
+
+    Draws sizes until the running sum reaches ``total``; the final size is
+    clipped so the sum is exact, and if the clipped remainder falls below
+    ``low`` it is folded into the previous community.  This mirrors the
+    LFR reference implementation's behaviour.
+    """
+    if total < low:
+        raise GeneratorError(
+            f"cannot split {total} nodes into communities of size >= {low}"
+        )
+    rng = as_numpy_rng(seed)
+    sizes: List[int] = []
+    remaining = total
+    while remaining > 0:
+        draw = sample_powerlaw(1, exponent, low, high, seed=rng)[0]
+        if draw >= remaining:
+            if remaining >= low:
+                sizes.append(remaining)
+            elif sizes:
+                sizes[-1] += remaining
+            else:
+                sizes.append(remaining)
+            remaining = 0
+        else:
+            sizes.append(draw)
+            remaining -= draw
+    return sizes

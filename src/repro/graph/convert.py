@@ -1,0 +1,91 @@
+"""Interoperability with third-party graph representations.
+
+The library is self-contained (its algorithms run on
+:class:`repro.graph.Graph`), but users arriving from the scientific-Python
+ecosystem usually hold a :mod:`networkx` graph or a SciPy sparse matrix.
+These converters are lossless for simple undirected graphs; anything the
+native structure cannot express (self-loops, directedness, multi-edges) is
+normalised with the documented policy rather than silently corrupted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = [
+    "from_networkx",
+    "to_networkx",
+    "from_scipy_sparse",
+    "to_scipy_sparse",
+    "from_edge_array",
+]
+
+
+def from_networkx(nx_graph: Any) -> Graph:
+    """Convert a networkx graph.
+
+    Directed graphs are symmetrised; multigraph parallel edges collapse;
+    self-loops are dropped.  Node labels are preserved.
+    """
+    graph = Graph()
+    for node in nx_graph.nodes():
+        graph.add_node(node)
+    for u, v in nx_graph.edges():
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def to_networkx(graph: Graph) -> Any:
+    """Convert to :class:`networkx.Graph` (imported lazily)."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+def from_scipy_sparse(matrix: sp.spmatrix) -> Graph:
+    """Convert a square sparse matrix interpreted as an adjacency matrix.
+
+    Nonzero ``(i, j)`` entries become edges; the matrix is symmetrised and
+    the diagonal ignored.  Node labels are ``0..n-1``.
+    """
+    matrix = sp.coo_matrix(matrix)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise GraphError(f"adjacency matrix must be square, got {matrix.shape}")
+    graph = Graph(nodes=range(matrix.shape[0]))
+    for i, j in zip(matrix.row, matrix.col):
+        if i != j:
+            graph.add_edge(int(i), int(j))
+    return graph
+
+
+def to_scipy_sparse(graph: Graph) -> sp.csr_matrix:
+    """Convert to a CSR adjacency matrix in node insertion order."""
+    from .matrices import adjacency_matrix
+
+    return adjacency_matrix(graph)
+
+
+def from_edge_array(edges: np.ndarray) -> Graph:
+    """Convert an ``(m, 2)`` integer array of edges.
+
+    Self-loops are dropped and duplicates merged, matching the behaviour
+    of :class:`repro.graph.GraphBuilder` with default policies.
+    """
+    edges = np.asarray(edges)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise GraphError(f"edge array must have shape (m, 2), got {edges.shape}")
+    graph = Graph()
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(int(u), int(v))
+    return graph

@@ -1,0 +1,56 @@
+"""Sparse-matrix views of graphs.
+
+The spectral machinery in :mod:`repro.core.spectral` needs fast
+matrix-vector products with the adjacency matrix; SciPy's CSR format
+provides them.  The conversion fixes a node ordering (insertion order,
+the same one :meth:`repro.graph.Graph.node_index` reports) so callers can
+translate eigenvector entries back to nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph, Node
+
+__all__ = [
+    "adjacency_matrix",
+    "laplacian_matrix",
+    "adjacency_with_index",
+]
+
+
+def adjacency_with_index(graph: Graph) -> Tuple[sp.csr_matrix, Dict[Node, int]]:
+    """The CSR adjacency matrix together with the node index used.
+
+    Row/column ``i`` corresponds to the ``i``-th node in insertion order.
+    """
+    index = graph.node_index()
+    n = len(index)
+    rows: List[int] = []
+    cols: List[int] = []
+    for u, v in graph.edges():
+        i, j = index[u], index[v]
+        rows.append(i)
+        cols.append(j)
+        rows.append(j)
+        cols.append(i)
+    data = np.ones(len(rows), dtype=np.float64)
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    return matrix, index
+
+
+def adjacency_matrix(graph: Graph) -> sp.csr_matrix:
+    """The CSR adjacency matrix in node insertion order."""
+    matrix, _ = adjacency_with_index(graph)
+    return matrix
+
+
+def laplacian_matrix(graph: Graph) -> sp.csr_matrix:
+    """The combinatorial Laplacian ``L = D - A`` in node insertion order."""
+    adjacency, index = adjacency_with_index(graph)
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    return sp.diags(degrees).tocsr() - adjacency

@@ -1,0 +1,88 @@
+"""Induced subgraphs, ego networks, and neighbourhood extraction.
+
+OCA's local search starts from "a random neighbourhood of the seed"
+(Section IV of the paper); these helpers provide the neighbourhood
+machinery for seeding and for the qualitative Figure-4 experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Set
+
+from .._rng import SeedLike, as_random
+from ..errors import NodeNotFoundError
+from .graph import Graph, Node
+
+__all__ = [
+    "induced_subgraph",
+    "ego_network",
+    "neighborhood",
+    "random_neighborhood_subset",
+]
+
+
+def induced_subgraph(graph: Graph, nodes: Iterable[Node]) -> Graph:
+    """The subgraph induced by ``nodes``.
+
+    Nodes absent from ``graph`` raise :class:`NodeNotFoundError` — silently
+    shrinking the requested node set would mask bugs in callers.
+    """
+    node_set: Set[Node] = set(nodes)
+    for node in node_set:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+    sub = Graph(nodes=node_set)
+    for u in node_set:
+        for v in graph.neighbors(u):
+            if v in node_set:
+                sub.add_edge(u, v)
+    return sub
+
+
+def neighborhood(graph: Graph, node: Node, radius: int = 1) -> Set[Node]:
+    """All nodes within ``radius`` hops of ``node`` (including itself)."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    frontier: Set[Node] = {node}
+    reached: Set[Node] = {node}
+    if not graph.has_node(node):
+        raise NodeNotFoundError(node)
+    for _ in range(radius):
+        next_frontier: Set[Node] = set()
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in reached:
+                    reached.add(v)
+                    next_frontier.add(v)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return reached
+
+
+def ego_network(graph: Graph, node: Node, radius: int = 1) -> Graph:
+    """The induced subgraph on :func:`neighborhood` of ``node``."""
+    return induced_subgraph(graph, neighborhood(graph, node, radius))
+
+
+def random_neighborhood_subset(
+    graph: Graph,
+    node: Node,
+    fraction: float = 0.5,
+    seed: SeedLike = None,
+) -> Set[Node]:
+    """A random subset of the closed neighbourhood of ``node``.
+
+    This is the paper's "random neighbourhood of the seed" used to start
+    each OCA run: the seed node is always included; each neighbour joins
+    independently with probability ``fraction``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    rng = as_random(seed)
+    chosen: Set[Node] = {node}
+    for neighbour in graph.neighbors(node):
+        if rng.random() < fraction:
+            chosen.add(neighbour)
+    return chosen

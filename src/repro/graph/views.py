@@ -1,0 +1,156 @@
+"""Read-only, no-copy subgraph views.
+
+:func:`repro.graph.subgraph.induced_subgraph` copies; on a large graph an
+analysis pass over many ego networks would copy most of the graph many
+times over.  :class:`SubgraphView` instead *wraps* the parent graph and a
+node subset, answering the read-only :class:`~repro.graph.Graph` protocol
+(neighbours, degrees, edge iteration, `edges_inside`, ...) by filtering
+on the fly.  Views are as cheap as the set that defines them and always
+reflect the parent's current state.
+
+Views deliberately do not support mutation: call :meth:`SubgraphView.
+materialize` to get an independent, mutable :class:`Graph` copy.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+from ..errors import GraphError, NodeNotFoundError
+from .graph import Edge, Graph, Node
+
+__all__ = ["SubgraphView"]
+
+
+class SubgraphView:
+    """A live, read-only view of the subgraph induced by ``nodes``.
+
+    Parameters
+    ----------
+    parent:
+        The graph being viewed (not copied, not mutated).
+    nodes:
+        The inducing node set; must all exist in ``parent`` at
+        construction time.
+
+    Examples
+    --------
+    >>> from repro.generators import complete_graph
+    >>> view = SubgraphView(complete_graph(5), {0, 1, 2})
+    >>> view.number_of_nodes(), view.number_of_edges()
+    (3, 3)
+    """
+
+    __slots__ = ("_parent", "_nodes")
+
+    def __init__(self, parent: Graph, nodes: Iterable[Node]) -> None:
+        self._parent = parent
+        self._nodes: Set[Node] = set(nodes)
+        for node in self._nodes:
+            if not parent.has_node(node):
+                raise NodeNotFoundError(node)
+
+    # ------------------------------------------------------------------
+    @property
+    def parent(self) -> Graph:
+        """The underlying graph."""
+        return self._parent
+
+    @property
+    def node_set(self) -> Set[Node]:
+        """The inducing node set (a live reference; treat as read-only)."""
+        return self._nodes
+
+    # ------------------------------------------------------------------
+    # Read-only Graph protocol
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is in the view."""
+        return node in self._nodes and self._parent.has_node(node)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether both endpoints are in the view and adjacent in the parent."""
+        return u in self._nodes and v in self._nodes and self._parent.has_edge(u, v)
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        """Neighbours of ``node`` inside the view (a fresh set)."""
+        if node not in self._nodes:
+            raise NodeNotFoundError(node)
+        return {v for v in self._parent.neighbors(node) if v in self._nodes}
+
+    def degree(self, node: Node) -> int:
+        """Degree of ``node`` within the view."""
+        return len(self.neighbors(node))
+
+    def degrees(self) -> Dict[Node, int]:
+        """Every view node mapped to its in-view degree."""
+        return {node: self.degree(node) for node in self.nodes()}
+
+    def number_of_nodes(self) -> int:
+        """Node count of the view."""
+        return len(self._nodes)
+
+    def number_of_edges(self) -> int:
+        """Edge count of the view (computed on demand, O(volume))."""
+        return self._parent.edges_inside(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over view nodes (parent insertion order)."""
+        return (node for node in self._parent.nodes() if node in self._nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over view edges exactly once."""
+        seen: Set[Node] = set()
+        for u in self.nodes():
+            seen.add(u)
+            for v in self._parent.neighbors(u):
+                if v in self._nodes and v not in seen:
+                    yield (u, v)
+
+    def edges_inside(self, nodes: Iterable[Node]) -> int:
+        """``E_in`` of a subset, restricted to the view."""
+        subset = {node for node in nodes if node in self._nodes}
+        return self._parent.edges_inside(subset)
+
+    def boundary_degree(self, node: Node, inside: AbstractSet[Node]) -> int:
+        """Neighbour count of ``node`` within ``inside ∩ view``."""
+        return sum(1 for v in self.neighbors(node) if v in inside)
+
+    # ------------------------------------------------------------------
+    def materialize(self) -> Graph:
+        """An independent, mutable :class:`Graph` copy of the view."""
+        graph = Graph(nodes=self._nodes)
+        for u, v in self.edges():
+            graph.add_edge(u, v)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Explicitly refuse mutation.
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        raise GraphError("SubgraphView is read-only; materialize() first")
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        raise GraphError("SubgraphView is read-only; materialize() first")
+
+    def remove_node(self, node: Node) -> None:
+        raise GraphError("SubgraphView is read-only; materialize() first")
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        raise GraphError("SubgraphView is read-only; materialize() first")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return self.nodes()
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"SubgraphView(n={self.number_of_nodes()}, "
+            f"parent={self._parent!r})"
+        )

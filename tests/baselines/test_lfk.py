@@ -1,0 +1,82 @@
+"""Unit tests for the LFK baseline."""
+
+import pytest
+
+from repro.baselines import lfk, natural_community
+from repro.communities import theta
+from repro.errors import ConfigurationError
+from repro.generators import (
+    complete_graph,
+    ring_of_cliques,
+    two_cliques_bridged,
+)
+from repro.graph import Graph
+
+
+def test_natural_community_of_clique_member():
+    g, truth = ring_of_cliques(4, 6)
+    community = natural_community(g, 0)
+    assert community == set(truth[0])
+
+
+def test_natural_community_deterministic():
+    g, _ = ring_of_cliques(4, 6)
+    assert natural_community(g, 3) == natural_community(g, 3)
+
+
+def test_natural_community_respects_alpha():
+    g, _ = ring_of_cliques(4, 6)
+    # Very small alpha flattens the resolution: (k_in + k_out)^alpha barely
+    # penalises boundary, so the community expands beyond one clique.
+    wide = natural_community(g, 0, alpha=0.05)
+    narrow = natural_community(g, 0, alpha=1.0)
+    assert len(wide) > len(narrow)
+
+
+def test_natural_community_max_steps():
+    g = complete_graph(30)
+    community = natural_community(g, 0, max_steps=3)
+    assert len(community) <= 4
+
+
+def test_cover_includes_every_node():
+    g, _ = ring_of_cliques(4, 5)
+    result = lfk(g, seed=0)
+    assert result.cover.covered_nodes() == set(g.nodes())
+
+
+def test_ring_of_cliques_exact():
+    g, truth = ring_of_cliques(5, 6)
+    result = lfk(g, seed=0)
+    assert theta(truth, result.cover) == pytest.approx(1.0)
+
+
+def test_overlapping_cliques_both_found():
+    g, truth = two_cliques_bridged(7, 2)
+    result = lfk(g, seed=0)
+    assert theta(truth, result.cover) >= 0.8
+
+
+def test_deterministic_given_seed():
+    g, _ = ring_of_cliques(4, 5)
+    assert lfk(g, seed=42).cover == lfk(g, seed=42).cover
+
+
+def test_alpha_validated():
+    with pytest.raises(ConfigurationError):
+        lfk(Graph(edges=[(0, 1)]), alpha=-1.0)
+
+
+def test_result_metadata():
+    g, _ = ring_of_cliques(3, 5)
+    result = lfk(g, seed=0)
+    assert result.alpha == 1.0
+    assert result.natural_communities >= 3
+    assert result.elapsed_seconds >= 0.0
+    assert "LFKResult" in repr(result)
+
+
+def test_isolated_node_becomes_singleton():
+    g = Graph(edges=[(0, 1), (1, 2), (0, 2)], nodes=[9])
+    result = lfk(g, seed=0)
+    assert {9} in result.cover

@@ -1,0 +1,88 @@
+"""Property-based tests on the baseline algorithms (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    clique_percolation,
+    greedy_modularity,
+    lfk,
+    maximal_cliques,
+    natural_community,
+)
+from repro.graph import Graph
+
+from ..conftest import edge_lists
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_lists(max_nodes=10, max_edges=25), k=st.integers(2, 4))
+def test_cpm_communities_are_unions_of_k_cliques(edges, k):
+    """Every CPM community contains a clique of size >= k, and every
+    member of a community belongs to such a clique inside it."""
+    g = Graph(edges=edges)
+    result = clique_percolation(g, k=k)
+    cliques = [c for c in maximal_cliques(g) if len(c) >= k]
+    for community in result.cover:
+        members = set(community)
+        inside = [c for c in cliques if c <= members]
+        assert inside, "community without a supporting clique"
+        covered = set()
+        for clique in inside:
+            covered |= clique
+        assert covered == members
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_lists(max_nodes=10, max_edges=25))
+def test_cpm_faithful_and_indexed_always_agree(edges):
+    g = Graph(edges=edges)
+    faithful = clique_percolation(g, k=3, faithful_overlap=True).cover
+    indexed = clique_percolation(g, k=3, faithful_overlap=False).cover
+    assert faithful == indexed
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges=edge_lists(max_nodes=10, max_edges=25), seed=st.integers(0, 3))
+def test_lfk_cover_is_total_and_deterministic(edges, seed):
+    g = Graph(edges=edges)
+    if g.number_of_nodes() == 0:
+        return
+    result = lfk(g, seed=seed)
+    assert result.cover.covered_nodes() == set(g.nodes())
+    assert lfk(g, seed=seed).cover == result.cover
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges=edge_lists(max_nodes=10, max_edges=25))
+def test_lfk_natural_community_is_local_optimum(edges):
+    """No single removal improves the LFK fitness of a natural community
+    (the addition side may admit zero-gain plateaus, which step A skips)."""
+    from repro.core import LFKFitness
+    from repro.core.state import CommunityState
+
+    g = Graph(edges=edges)
+    if g.number_of_nodes() == 0:
+        return
+    node = next(iter(g.nodes()))
+    community = natural_community(g, node)
+    fitness = LFKFitness(alpha=1.0)
+    state = CommunityState(g, community)
+    current = state.value(fitness)
+    if state.size > 1:
+        for member in list(state.members):
+            assert state.value_if_removed(member, fitness) <= current + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(edges=edge_lists(max_nodes=10, max_edges=30))
+def test_greedy_modularity_contract(edges):
+    g = Graph(edges=edges)
+    if g.number_of_edges() == 0:
+        return
+    result = greedy_modularity(g)
+    # Disjoint, exhaustive, and modularity in valid range.
+    assert result.partition.covered_nodes() == set(g.nodes())
+    assert not result.partition.overlapping_nodes()
+    assert -0.5 <= result.modularity <= 1.0

@@ -1,0 +1,125 @@
+"""Unit tests for Community, Cover, Partition."""
+
+import pytest
+
+from repro.communities import Community, Cover, Partition
+from repro.errors import CommunityError, EmptyCommunityError
+
+
+class TestCommunity:
+    def test_requires_members(self):
+        with pytest.raises(EmptyCommunityError):
+            Community([])
+
+    def test_is_frozenset(self):
+        c = Community([1, 2, 2, 3])
+        assert c == frozenset({1, 2, 3})
+        assert len(c) == 3
+
+    def test_jaccard(self):
+        a = Community([1, 2, 3])
+        assert a.jaccard({2, 3, 4}) == pytest.approx(0.5)
+        assert a.jaccard(set()) == 0.0
+        assert a.jaccard({1, 2, 3}) == 1.0
+
+    def test_overlap(self):
+        assert Community([1, 2, 3]).overlap({3, 4}) == 1
+
+    def test_repr_shows_size(self):
+        assert "size=3" in repr(Community([1, 2, 3]))
+
+
+class TestCover:
+    def test_deduplicates(self):
+        cover = Cover([{1, 2}, {2, 1}, {3}])
+        assert len(cover) == 2
+
+    def test_iteration_and_indexing(self):
+        cover = Cover([{1, 2}, {3}])
+        assert cover[0] == {1, 2}
+        assert [set(c) for c in cover] == [{1, 2}, {3}]
+
+    def test_contains_set_like(self):
+        cover = Cover([{1, 2}])
+        assert {1, 2} in cover
+        assert [2, 1] in cover
+        assert {3} not in cover
+        assert "nonsense" not in cover
+
+    def test_equality_is_order_insensitive(self):
+        assert Cover([{1}, {2}]) == Cover([{2}, {1}])
+        assert Cover([{1}]) != Cover([{2}])
+
+    def test_covered_nodes(self):
+        cover = Cover([{1, 2}, {2, 3}])
+        assert cover.covered_nodes() == {1, 2, 3}
+
+    def test_membership(self):
+        cover = Cover([{1, 2}, {2, 3}])
+        membership = cover.membership()
+        assert membership[2] == [0, 1]
+        assert membership[1] == [0]
+
+    def test_membership_counts_and_overlapping_nodes(self):
+        cover = Cover([{1, 2}, {2, 3}])
+        assert cover.membership_counts() == {1: 1, 2: 2, 3: 1}
+        assert cover.overlapping_nodes() == {2}
+
+    def test_orphan_nodes(self):
+        cover = Cover([{1, 2}])
+        assert cover.orphan_nodes([1, 2, 3, 4]) == {3, 4}
+
+    def test_size_distribution(self):
+        cover = Cover([{1}, {2, 3, 4}, {5, 6}])
+        assert cover.size_distribution() == [3, 2, 1]
+
+    def test_restrict_to(self):
+        cover = Cover([{1, 2}, {3, 4}])
+        restricted = cover.restrict_to({1, 3, 4})
+        assert restricted == Cover([{1}, {3, 4}])
+
+    def test_without_small(self):
+        cover = Cover([{1}, {2, 3}, {4, 5, 6}])
+        assert cover.without_small(2) == Cover([{2, 3}, {4, 5, 6}])
+
+    def test_add_returns_new_cover(self):
+        cover = Cover([{1}])
+        extended = cover.add({2, 3})
+        assert len(cover) == 1
+        assert len(extended) == 2
+
+    def test_as_sets_copies(self):
+        cover = Cover([{1, 2}])
+        sets = cover.as_sets()
+        sets[0].add(99)
+        assert 99 not in cover[0]
+
+    def test_from_membership(self):
+        cover = Cover.from_membership({1: [0], 2: [0, 1], 3: [1]})
+        assert cover == Cover([{1, 2}, {2, 3}])
+
+    def test_to_partition_rejects_overlap(self):
+        with pytest.raises(CommunityError):
+            Cover([{1, 2}, {2, 3}]).to_partition()
+
+    def test_to_partition_ok_when_disjoint(self):
+        partition = Cover([{1, 2}, {3}]).to_partition()
+        assert isinstance(partition, Partition)
+
+    def test_empty_cover(self):
+        cover = Cover()
+        assert len(cover) == 0
+        assert cover.covered_nodes() == set()
+        assert cover.size_distribution() == []
+
+
+class TestPartition:
+    def test_rejects_overlap(self):
+        with pytest.raises(CommunityError):
+            Partition([{1, 2}, {2, 3}])
+
+    def test_block_of(self):
+        partition = Partition([{1, 2}, {3}])
+        blocks = partition.block_of()
+        assert blocks[1] == blocks[2]
+        assert blocks[3] != blocks[1]

@@ -1,0 +1,75 @@
+"""Unit and property tests for overlapping NMI."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.communities import Cover, overlapping_nmi
+from repro.errors import CommunityError
+
+UNIVERSE = list(range(12))
+
+covers = st.lists(
+    st.sets(st.sampled_from(UNIVERSE), min_size=1, max_size=8),
+    min_size=1,
+    max_size=4,
+).map(Cover)
+
+
+def test_identical_covers_score_one():
+    cover = Cover([{0, 1, 2}, {3, 4, 5}])
+    assert overlapping_nmi(cover, cover, UNIVERSE) == pytest.approx(1.0)
+
+
+def test_unrelated_covers_score_low():
+    a = Cover([{0, 1, 2, 3, 4, 5}])
+    b = Cover([{0, 2, 4, 6, 8, 10}])
+    assert overlapping_nmi(a, b, UNIVERSE) < 0.5
+
+
+def test_refinement_scores_between():
+    coarse = Cover([{0, 1, 2, 3, 4, 5}])
+    fine = Cover([{0, 1, 2}, {3, 4, 5}])
+    value = overlapping_nmi(coarse, fine, UNIVERSE)
+    assert 0.0 < value < 1.0
+
+
+def test_symmetric():
+    a = Cover([{0, 1, 2}, {2, 3}])
+    b = Cover([{0, 1}, {3, 4, 5}])
+    assert overlapping_nmi(a, b, UNIVERSE) == pytest.approx(
+        overlapping_nmi(b, a, UNIVERSE)
+    )
+
+
+def test_empty_cover_raises():
+    with pytest.raises(CommunityError):
+        overlapping_nmi(Cover(), Cover([{1}]), UNIVERSE)
+
+
+def test_empty_universe_raises():
+    with pytest.raises(CommunityError):
+        overlapping_nmi(Cover([{1}]), Cover([{1}]), [])
+
+
+def test_members_outside_universe_raise():
+    with pytest.raises(CommunityError):
+        overlapping_nmi(Cover([{99}]), Cover([{0}]), UNIVERSE)
+
+
+def test_overlapping_ground_truth_supported():
+    cover = Cover([{0, 1, 2, 3}, {3, 4, 5, 6}])
+    assert overlapping_nmi(cover, cover, UNIVERSE) == pytest.approx(1.0)
+
+
+@given(a=covers, b=covers)
+def test_nmi_bounds(a, b):
+    value = overlapping_nmi(a, b, UNIVERSE)
+    assert 0.0 <= value <= 1.0
+
+
+@given(a=covers, b=covers)
+def test_nmi_symmetry_property(a, b):
+    assert overlapping_nmi(a, b, UNIVERSE) == pytest.approx(
+        overlapping_nmi(b, a, UNIVERSE)
+    )

@@ -1,0 +1,69 @@
+"""Unit and property tests for rho (Eq. V.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.communities import distance, rho, rho_jaccard_form
+
+node_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=15)
+
+
+def test_identical_sets():
+    assert rho({1, 2, 3}, {1, 2, 3}) == 1.0
+
+
+def test_disjoint_sets():
+    assert rho({1, 2}, {3, 4}) == 0.0
+
+
+def test_half_overlap():
+    # |C\D| + |D\C| = 2, |C u D| = 3 -> rho = 1/3
+    assert rho({1, 2}, {2, 3}) == pytest.approx(1.0 / 3.0)
+
+
+def test_subset_relation():
+    assert rho({1, 2, 3, 4}, {1, 2}) == pytest.approx(0.5)
+
+
+def test_empty_sets_are_identical():
+    assert rho(set(), set()) == 1.0
+
+
+def test_empty_vs_nonempty():
+    assert rho(set(), {1}) == 0.0
+
+
+def test_paper_formula_matches_jaccard_example():
+    c, d = {1, 2, 3, 4, 5}, {4, 5, 6}
+    assert rho(c, d) == pytest.approx(rho_jaccard_form(c, d))
+
+
+def test_distance_complement():
+    assert distance({1, 2}, {2, 3}) == pytest.approx(1 - rho({1, 2}, {2, 3}))
+
+
+@given(c=node_sets, d=node_sets)
+def test_rho_equals_jaccard_everywhere(c, d):
+    assert rho(c, d) == pytest.approx(rho_jaccard_form(c, d))
+
+
+@given(c=node_sets, d=node_sets)
+def test_rho_symmetric(c, d):
+    assert rho(c, d) == pytest.approx(rho(d, c))
+
+
+@given(c=node_sets, d=node_sets)
+def test_rho_bounds(c, d):
+    assert 0.0 <= rho(c, d) <= 1.0
+
+
+@given(c=node_sets)
+def test_rho_reflexive(c):
+    assert rho(c, c) == 1.0
+
+
+@given(c=node_sets, d=node_sets, e=node_sets)
+def test_distance_triangle_inequality(c, d, e):
+    # 1 - Jaccard is a proper metric (Steinhaus transform).
+    assert distance(c, e) <= distance(c, d) + distance(d, e) + 1e-12

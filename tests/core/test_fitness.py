@@ -1,0 +1,141 @@
+"""Unit tests for the fitness functions (Section III)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DirectedLaplacianFitness,
+    LFKFitness,
+    PhiFitness,
+    directed_laplacian_value,
+    phi_value,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDirectedLaplacianValue:
+    def test_empty_set(self):
+        assert directed_laplacian_value(0, 0, 0.5) == 0.0
+
+    def test_singleton_is_one(self):
+        assert directed_laplacian_value(1, 0, 0.5) == 1.0
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            directed_laplacian_value(-1, 0, 0.5)
+
+    def test_matches_formula(self):
+        s, e, c = 5, 7, 0.3
+        root = math.sqrt(5 * 4)
+        expected = s - root + 2 * c * e * (1 - (s - 2) / root)
+        assert directed_laplacian_value(s, e, c) == pytest.approx(expected)
+
+    def test_matches_laplacian_definition(self):
+        """L(S) must equal phi(S) - sum_x phi(S \\ {x}) / sqrt(s(s-1)).
+
+        Definition 3 applied to the subset lattice: incoming neighbours of
+        S are the s subsets S minus one element; indeg(S) = s, indeg of
+        each predecessor is s - 1.
+        """
+        import itertools
+        import random
+
+        from repro.generators import erdos_renyi
+
+        g = erdos_renyi(10, 0.5, seed=3)
+        c = 0.25
+        rng = random.Random(1)
+        nodes = list(g.nodes())
+        for size in (2, 4, 6):
+            members = set(rng.sample(nodes, size))
+            e_in = g.edges_inside(members)
+            via_formula = directed_laplacian_value(size, e_in, c)
+            predecessors = 0.0
+            for x in members:
+                sub = members - {x}
+                predecessors += phi_value(len(sub), g.edges_inside(sub), c)
+            via_definition = phi_value(size, e_in, c) - predecessors / math.sqrt(
+                size * (size - 1)
+            )
+            assert via_formula == pytest.approx(via_definition)
+
+    def test_dense_beats_sparse_at_same_size(self):
+        c = 0.3
+        assert directed_laplacian_value(6, 15, c) > directed_laplacian_value(6, 5, c)
+
+    def test_nontrivial_maximum_exists(self):
+        """Unlike phi, L is not monotone: a clique beats the clique plus a
+        pendant vertex."""
+        c = 0.3
+        clique = directed_laplacian_value(5, 10, c)
+        with_pendant = directed_laplacian_value(6, 11, c)
+        assert clique > with_pendant
+
+
+class TestPhiValue:
+    def test_independent_set(self):
+        assert phi_value(4, 0, 0.5) == 4.0
+
+    def test_monotone_growth(self):
+        # Adding any node (even with no edges) increases phi.
+        assert phi_value(5, 3, 0.4) < phi_value(6, 3, 0.4)
+
+
+class TestFitnessClasses:
+    def test_directed_laplacian_class_delegates(self):
+        fitness = DirectedLaplacianFitness(c=0.3)
+        assert fitness.value(4, 5, 99) == pytest.approx(
+            directed_laplacian_value(4, 5, 0.3)
+        )
+
+    def test_phi_class_delegates(self):
+        fitness = PhiFitness(c=0.3)
+        assert fitness.value(4, 5, 99) == pytest.approx(phi_value(4, 5, 0.3))
+
+    def test_monotone_flags(self):
+        assert DirectedLaplacianFitness(c=0.2).monotone_in_internal_edges
+        assert PhiFitness(c=0.2).monotone_in_internal_edges
+        assert not LFKFitness().monotone_in_internal_edges
+
+    def test_c_validated(self):
+        with pytest.raises(ConfigurationError):
+            DirectedLaplacianFitness(c=1.0)
+        with pytest.raises(ConfigurationError):
+            PhiFitness(c=-0.2)
+
+    def test_lfk_fitness_formula(self):
+        fitness = LFKFitness(alpha=1.0)
+        # k_in = 6, k_out = volume - k_in = 4 -> 6/10.
+        assert fitness.value(3, 3, 10) == pytest.approx(0.6)
+
+    def test_lfk_alpha_validated(self):
+        with pytest.raises(ConfigurationError):
+            LFKFitness(alpha=0.0)
+
+    def test_lfk_zero_volume(self):
+        assert LFKFitness().value(1, 0, 0) == 0.0
+
+
+@given(
+    s=st.integers(min_value=2, max_value=500),
+    e=st.integers(min_value=0, max_value=2000),
+    c=st.floats(min_value=0.0, max_value=0.999),
+)
+def test_laplacian_monotone_in_internal_edges(s, e, c):
+    """The coefficient of E_in is positive for every s >= 2 — the property
+    the bucket-queue fast path relies on."""
+    assert directed_laplacian_value(s, e + 1, c) >= directed_laplacian_value(s, e, c)
+
+
+@given(
+    s=st.integers(min_value=1, max_value=500),
+    c=st.floats(min_value=0.001, max_value=0.999),
+)
+def test_laplacian_of_independent_sets_decreasing_then_stable(s, c):
+    """With no internal edges, growing the set never helps: L(s) = s -
+    sqrt(s(s-1)) is decreasing, so independent sets collapse to single
+    nodes (the greedy removes members)."""
+    assert directed_laplacian_value(s + 1, 0, c) <= directed_laplacian_value(s, 0, c)

@@ -1,0 +1,116 @@
+"""Unit tests for post-processing (merging + orphan assignment)."""
+
+import pytest
+
+from repro.communities import Cover
+from repro.core import assign_orphans, merge_similar, postprocess
+from repro.errors import ConfigurationError
+from repro.generators import complete_graph, ring_of_cliques
+from repro.graph import Graph
+
+
+class TestMergeSimilar:
+    def test_near_duplicates_merge(self):
+        cover = Cover([{1, 2, 3, 4, 5}, {1, 2, 3, 4, 6}])
+        merged = merge_similar(cover, threshold=0.5)
+        assert merged == Cover([{1, 2, 3, 4, 5, 6}])
+
+    def test_dissimilar_survive(self):
+        cover = Cover([{1, 2, 3}, {10, 11, 12}])
+        assert merge_similar(cover, threshold=0.5) == cover
+
+    def test_cascading_merges_run_to_fixed_point(self):
+        # a~b and (a|b)~c even though a!~c.
+        a = {1, 2, 3, 4}
+        b = {1, 2, 3, 5}
+        c = {1, 2, 4, 5, 6}
+        merged = merge_similar(Cover([a, b, c]), threshold=0.6)
+        assert merged == Cover([a | b | c])
+
+    def test_threshold_one_keeps_everything(self):
+        cover = Cover([{1, 2, 3, 4, 5}, {1, 2, 3, 4, 6}])
+        assert merge_similar(cover, threshold=1.0) == cover
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            merge_similar(Cover([{1}]), threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            merge_similar(Cover([{1}]), threshold=1.1)
+
+    def test_empty_cover(self):
+        assert merge_similar(Cover(), threshold=0.5) == Cover()
+
+
+class TestAssignOrphans:
+    def test_orphan_joins_majority_neighbour_community(self):
+        g, cover = ring_of_cliques(3, 4)
+        g.add_node(99)
+        for v in (0, 1, 2):
+            g.add_edge(99, v)
+        g.add_edge(99, 4)  # one link to another clique
+        extended = assign_orphans(g, cover)
+        homes = [c for c in extended if 99 in c]
+        assert len(homes) == 1
+        assert {0, 1, 2}.issubset(homes[0])
+
+    def test_covered_nodes_untouched(self):
+        g, cover = ring_of_cliques(3, 4)
+        extended = assign_orphans(g, cover)
+        assert extended == cover
+
+    def test_chain_of_orphans_resolved_in_waves(self):
+        g = complete_graph(3)
+        g.add_edge(2, 3)
+        g.add_edge(3, 4)
+        cover = Cover([{0, 1, 2}])
+        extended = assign_orphans(g, cover)
+        assert extended.covered_nodes() == {0, 1, 2, 3, 4}
+
+    def test_stranded_component_becomes_community(self):
+        g = complete_graph(3)
+        g.add_edge(10, 11)
+        cover = Cover([{0, 1, 2}])
+        extended = assign_orphans(g, cover)
+        assert {10, 11} in extended
+
+    def test_isolated_node_becomes_singleton_community(self):
+        g = complete_graph(3)
+        g.add_node(42)
+        extended = assign_orphans(g, Cover([{0, 1, 2}]))
+        assert {42} in extended
+
+    def test_every_node_covered_afterwards(self):
+        g, cover = ring_of_cliques(4, 5)
+        partial = Cover([cover[0], cover[2]])
+        extended = assign_orphans(g, partial)
+        assert extended.covered_nodes() == set(g.nodes())
+
+    def test_tie_breaks_to_larger_community(self):
+        g = Graph(edges=[(0, 1), (2, 3), (2, 4), (9, 0), (9, 2)])
+        cover = Cover([{0, 1}, {2, 3, 4}])
+        extended = assign_orphans(g, cover)
+        homes = [c for c in extended if 9 in c]
+        assert len(homes) == 1
+        assert {2, 3, 4}.issubset(homes[0])
+
+
+class TestPostprocessPipeline:
+    def test_merge_then_orphans(self):
+        g, cover = ring_of_cliques(3, 5)
+        partial = Cover([cover[0], set(list(cover[0])[:4]) | {99}])
+        g.add_node(99)
+        g.add_edge(99, 0)
+        result = postprocess(g, partial, merge_threshold=0.5, orphans=True)
+        assert result.covered_nodes() == set(g.nodes())
+
+    def test_merge_disabled(self):
+        cover = Cover([{1, 2, 3, 4, 5}, {1, 2, 3, 4, 6}])
+        g = complete_graph(7)
+        result = postprocess(g, cover, merge_threshold=None, orphans=False)
+        assert result == cover
+
+    def test_orphans_disabled_by_default(self):
+        g = complete_graph(4)
+        cover = Cover([{0, 1}])
+        result = postprocess(g, cover)
+        assert result.covered_nodes() == {0, 1}

@@ -1,0 +1,95 @@
+"""Unit tests for seeding strategies."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DegreeBiasedSeeding,
+    RandomSeeding,
+    UncoveredFirstSeeding,
+    make_seeding,
+)
+from repro.generators import complete_graph, star_graph
+from repro.graph import Graph
+
+
+def test_random_seeding_returns_graph_nodes(k5):
+    strategy = RandomSeeding()
+    rng = random.Random(0)
+    for _ in range(10):
+        assert strategy.next_seed(k5, set(), rng) in k5
+
+
+def test_random_seeding_empty_graph():
+    assert RandomSeeding().next_seed(Graph(), set(), random.Random(0)) is None
+
+
+def test_degree_biased_prefers_hubs():
+    g = star_graph(30)
+    strategy = DegreeBiasedSeeding()
+    rng = random.Random(0)
+    draws = [strategy.next_seed(g, set(), rng) for _ in range(300)]
+    centre_fraction = draws.count(0) / len(draws)
+    # Centre has degree 30 of total weight 30+1 + 30*(1+1) = 91.
+    assert centre_fraction > 0.2
+
+
+def test_degree_biased_reaches_isolated_nodes():
+    g = Graph(edges=[(0, 1)], nodes=[9])
+    strategy = DegreeBiasedSeeding()
+    rng = random.Random(0)
+    draws = {strategy.next_seed(g, set(), rng) for _ in range(200)}
+    assert 9 in draws
+
+
+def test_degree_biased_empty_graph():
+    assert DegreeBiasedSeeding().next_seed(Graph(), set(), random.Random(0)) is None
+
+
+def test_uncovered_first_skips_covered(k5):
+    strategy = UncoveredFirstSeeding()
+    rng = random.Random(0)
+    covered = {0, 1, 2, 3}
+    seeds = set()
+    while True:
+        seed = strategy.next_seed(k5, covered, rng)
+        if seed is None:
+            break
+        seeds.add(seed)
+    assert seeds == {4}
+
+
+def test_uncovered_first_exhausts(k5):
+    strategy = UncoveredFirstSeeding()
+    rng = random.Random(0)
+    seen = []
+    while True:
+        seed = strategy.next_seed(k5, set(seen), rng)
+        if seed is None:
+            break
+        seen.append(seed)
+    assert sorted(seen) == sorted(k5.nodes())
+
+
+def test_uncovered_first_each_node_at_most_once(k5):
+    strategy = UncoveredFirstSeeding()
+    rng = random.Random(0)
+    seeds = []
+    while True:
+        seed = strategy.next_seed(k5, set(), rng)
+        if seed is None:
+            break
+        seeds.append(seed)
+    assert len(seeds) == len(set(seeds)) == 5
+
+
+def test_make_seeding_names():
+    assert isinstance(make_seeding("random"), RandomSeeding)
+    assert isinstance(make_seeding("degree"), DegreeBiasedSeeding)
+    assert isinstance(make_seeding("uncovered"), UncoveredFirstSeeding)
+
+
+def test_make_seeding_unknown():
+    with pytest.raises(ValueError):
+        make_seeding("mystery")

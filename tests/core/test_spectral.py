@@ -1,0 +1,104 @@
+"""Unit tests for the power method against closed-form spectra."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import lambda_max, lambda_min, power_method, adjacency_extreme_eigenvalues
+from repro.errors import ConvergenceError
+from repro.graph import Graph, adjacency_matrix
+from repro.generators import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestPowerMethod:
+    def test_diagonal_matrix(self):
+        diag = np.diag([3.0, 1.0, -2.0])
+        result = power_method(diag.dot, 3, seed=0)
+        assert result.eigenvalue == pytest.approx(3.0, abs=1e-6)
+
+    def test_dominant_negative_eigenvalue(self):
+        diag = np.diag([-5.0, 1.0, 2.0])
+        result = power_method(diag.dot, 3, seed=0)
+        assert abs(result.eigenvalue) == pytest.approx(5.0, abs=1e-6)
+
+    def test_zero_matrix(self):
+        zero = np.zeros((4, 4))
+        result = power_method(zero.dot, 4, seed=0)
+        assert result.eigenvalue == pytest.approx(0.0)
+
+    def test_eigenvector_residual_small(self):
+        matrix = np.array([[2.0, 1.0], [1.0, 2.0]])
+        result = power_method(matrix.dot, 2, seed=0)
+        assert result.residual <= 1e-8
+
+    def test_convergence_error_raised(self):
+        # Two equal-modulus opposite eigenvalues never converge.
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ConvergenceError):
+            power_method(matrix.dot, 2, max_iterations=50, seed=3)
+
+    def test_no_convergence_requirement_returns_best(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        result = power_method(
+            matrix.dot, 2, max_iterations=50, seed=3, require_convergence=False
+        )
+        assert result.iterations == 50
+
+    def test_dimension_validated(self):
+        with pytest.raises(ValueError):
+            power_method(lambda x: x, 0)
+
+
+class TestGraphSpectra:
+    def test_lambda_max_complete_graph(self):
+        # K_n has lambda_max = n - 1.
+        assert lambda_max(complete_graph(7), seed=0) == pytest.approx(6.0, abs=1e-6)
+
+    def test_lambda_min_complete_graph(self):
+        # K_n has lambda_min = -1.
+        assert lambda_min(complete_graph(7), seed=0) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_lambda_min_single_edge(self):
+        g = Graph(edges=[(0, 1)])
+        assert lambda_min(g, seed=0) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_lambda_max_star(self):
+        # Star with l leaves: lambda_max = sqrt(l).
+        assert lambda_max(star_graph(9), seed=0) == pytest.approx(3.0, abs=1e-6)
+
+    def test_lambda_min_star(self):
+        assert lambda_min(star_graph(9), seed=0) == pytest.approx(-3.0, abs=1e-6)
+
+    def test_lambda_min_even_cycle(self):
+        # Even cycles are bipartite: lambda_min = -2.
+        assert lambda_min(cycle_graph(8), seed=0) == pytest.approx(-2.0, abs=1e-5)
+
+    def test_lambda_min_path(self):
+        # P_n: lambda_min = -2 cos(pi / (n+1)).
+        expected = -2 * math.cos(math.pi / 6)
+        assert lambda_min(path_graph(5), seed=0) == pytest.approx(expected, abs=1e-6)
+
+    def test_edgeless_graph_spectra(self):
+        g = Graph(nodes=range(4))
+        assert lambda_max(g) == 0.0
+        assert lambda_min(g) == 0.0
+
+    def test_extremes_tuple(self):
+        low, high = adjacency_extreme_eigenvalues(complete_graph(5), seed=0)
+        assert low == pytest.approx(-1.0, abs=1e-6)
+        assert high == pytest.approx(4.0, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dense_eigensolver(self, seed):
+        from repro.generators import erdos_renyi
+
+        g = erdos_renyi(24, 0.3, seed=seed)
+        if g.number_of_edges() == 0:
+            return
+        dense = adjacency_matrix(g).toarray()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert lambda_max(g, seed=0) == pytest.approx(eigenvalues[-1], abs=1e-5)
+        assert lambda_min(g, seed=0) == pytest.approx(
+            min(eigenvalues[0], -1.0), abs=1e-5
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for the virtual vector representation (Section II)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MAX_C_MARGIN, VirtualVectorRepresentation, admissible_c, phi
+from repro.errors import ConfigurationError
+from repro.graph import Graph
+from repro.generators import complete_graph, cycle_graph, erdos_renyi, star_graph
+
+
+class TestAdmissibleC:
+    def test_complete_graph_clamps_below_one(self):
+        # lambda_min(K_n) = -1 would give c = 1; Definition 1 needs c < 1.
+        c = admissible_c(complete_graph(5), seed=0)
+        assert c == pytest.approx(1.0 - MAX_C_MARGIN)
+        assert c < 1.0
+
+    def test_star_graph(self):
+        # lambda_min = -3 -> c = 1/3.
+        assert admissible_c(star_graph(9), seed=0) == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_even_cycle(self):
+        # lambda_min = -2 -> c = 1/2.
+        assert admissible_c(cycle_graph(6), seed=0) == pytest.approx(0.5, abs=1e-5)
+
+    def test_edgeless_graph(self):
+        assert admissible_c(Graph(nodes=range(3))) == 0.0
+
+    def test_gram_matrix_psd_at_admissible_c(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        representation = VirtualVectorRepresentation(g, seed=0)
+        eigenvalues = np.linalg.eigvalsh(representation.gram_matrix())
+        assert eigenvalues.min() >= -1e-6
+
+
+class TestPhi:
+    def test_independent_set_phi_is_size(self, square):
+        # Example 2: independent subsets have phi(S) = |S|.
+        c = admissible_c(square, seed=0)
+        assert phi(square, {0, 2}, c) == pytest.approx(2.0)
+
+    def test_clique_phi_quadratic(self):
+        # Example 2: phi(K_k subset) = c k^2 + (1-c) k.
+        g = complete_graph(6)
+        c = admissible_c(g, seed=0)
+        k = 4
+        assert phi(g, {0, 1, 2, 3}, c) == pytest.approx(c * k * k + (1 - c) * k)
+
+    def test_phi_monotone_in_subset_order(self, k5):
+        # Section II: phi always grows when the subset increases.
+        c = admissible_c(k5, seed=0)
+        assert phi(k5, {0, 1}, c) < phi(k5, {0, 1, 2}, c)
+
+    def test_phi_validates_c(self, k5):
+        with pytest.raises(ConfigurationError):
+            phi(k5, {0}, 1.5)
+
+
+class TestExplicitVectors:
+    """The closed form phi(S) = s + 2 c E_in(S) must equal the honest
+    squared length of the summed materialised vectors."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_phi_matches_explicit_sum(self, seed):
+        g = erdos_renyi(12, 0.4, seed=seed)
+        representation = VirtualVectorRepresentation(g, seed=0)
+        import random
+
+        rng = random.Random(seed)
+        nodes = list(g.nodes())
+        for size in (1, 3, 6, len(nodes)):
+            members = set(rng.sample(nodes, size))
+            assert representation.phi(members) == pytest.approx(
+                representation.phi_explicit(members), abs=1e-6
+            )
+
+    def test_vectors_are_unit_length(self):
+        g = cycle_graph(6)
+        representation = VirtualVectorRepresentation(g, seed=0)
+        vectors = representation.explicit_vectors()
+        norms = np.linalg.norm(vectors, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+
+    def test_inner_products_match_definition_1(self):
+        g = cycle_graph(6)
+        representation = VirtualVectorRepresentation(g, seed=0)
+        vectors = representation.explicit_vectors()
+        index = g.node_index()
+        for u in g.nodes():
+            for v in g.nodes():
+                if u == v:
+                    continue
+                expected = representation.c if g.has_edge(u, v) else 0.0
+                actual = float(vectors[index[u]] @ vectors[index[v]])
+                assert actual == pytest.approx(expected, abs=1e-6)
+
+    def test_gram_entry(self, triangle):
+        representation = VirtualVectorRepresentation(triangle, c=0.3)
+        assert representation.gram_entry(0, 0) == 1.0
+        assert representation.gram_entry(0, 1) == 0.3
+
+    def test_explicit_c_validated(self, triangle):
+        with pytest.raises(ConfigurationError):
+            VirtualVectorRepresentation(triangle, c=-0.1)

@@ -1,0 +1,46 @@
+"""Unit tests for ASCII reporting."""
+
+from repro.experiments import Series, ascii_table, series_table
+
+
+def test_ascii_table_alignment():
+    table = ascii_table(["name", "value"], [("alpha", 1), ("b", 22.5)])
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert "alpha" in lines[2]
+    assert "22.5" in lines[3]
+
+
+def test_ascii_table_empty_rows():
+    table = ascii_table(["a"], [])
+    assert "a" in table
+
+
+def test_ascii_table_float_formatting():
+    table = ascii_table(["x"], [(0.123456789,)])
+    assert "0.1235" in table
+
+
+def test_series_append():
+    s = Series("OCA")
+    s.append(1, 0.5)
+    s.append(2, 0.6)
+    assert s.xs == [1, 2]
+    assert s.ys == [0.5, 0.6]
+
+
+def test_series_table_joins_on_x():
+    a = Series("A", [1, 2], [0.1, 0.2])
+    b = Series("B", [1, 3], [0.9, 0.8])
+    table = series_table([a, b], x_label="n")
+    lines = table.splitlines()
+    assert lines[0].split()[:3] == ["n", "A", "B"]
+    assert len(lines) == 2 + 3  # header + rule + x in {1,2,3}
+
+
+def test_series_table_missing_points_dash():
+    a = Series("A", [1], [0.1])
+    b = Series("B", [2], [0.2])
+    table = series_table([a, b], x_label="n")
+    assert "-" in table.splitlines()[2]

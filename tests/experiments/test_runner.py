@@ -1,0 +1,48 @@
+"""Unit tests for the algorithm runner."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.experiments import ALGORITHMS, run_algorithm
+from repro.generators import ring_of_cliques
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ring_of_cliques(4, 5)
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_each_algorithm_runs(ring, name):
+    g, truth = ring
+    run = run_algorithm(name, g, seed=0)
+    assert run.algorithm == name
+    assert len(run.cover) >= 1
+    assert run.elapsed_seconds >= 0.0
+
+
+def test_quality_mode_covers_all_nodes(ring):
+    g, _ = ring
+    run = run_algorithm("OCA", g, seed=0, quality_mode=True)
+    assert run.cover.covered_nodes() == set(g.nodes())
+
+
+def test_raw_mode_skips_postprocessing(ring):
+    g, _ = ring
+    quality = run_algorithm("LFK", g, seed=0, quality_mode=True)
+    raw = run_algorithm("LFK", g, seed=0, quality_mode=False)
+    # Raw mode must not add orphan assignments.
+    assert len(raw.cover.covered_nodes()) <= len(quality.cover.covered_nodes())
+
+
+def test_unknown_algorithm_raises(ring):
+    g, _ = ring
+    with pytest.raises(AlgorithmError):
+        run_algorithm("Louvain", g)
+
+
+def test_deterministic_given_seed(ring):
+    g, _ = ring
+    a = run_algorithm("OCA", g, seed=77)
+    b = run_algorithm("OCA", g, seed=77)
+    assert a.cover == b.cover

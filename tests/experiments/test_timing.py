@@ -1,0 +1,37 @@
+"""Unit tests for timing instrumentation."""
+
+import time
+
+import pytest
+
+from repro.experiments import Timer, TimingLog, time_call
+
+
+def test_timer_measures_elapsed():
+    with Timer() as timer:
+        time.sleep(0.01)
+    assert timer.elapsed >= 0.01
+
+
+def test_time_call_returns_result_and_elapsed():
+    result, elapsed = time_call(sum, range(100))
+    assert result == 4950
+    assert elapsed >= 0.0
+
+
+def test_time_call_passes_kwargs():
+    result, _ = time_call(sorted, [3, 1, 2], reverse=True)
+    assert result == [3, 2, 1]
+
+
+def test_timing_log_statistics():
+    log = TimingLog()
+    log.record("oca", 1.0)
+    log.record("oca", 3.0)
+    assert log.mean("oca") == pytest.approx(2.0)
+    assert log.total("oca") == pytest.approx(4.0)
+
+
+def test_timing_log_unknown_name():
+    with pytest.raises(KeyError):
+        TimingLog().mean("ghost")

@@ -1,0 +1,100 @@
+"""Unit tests for consensus covers."""
+
+import pytest
+
+from repro.communities import Cover, theta
+from repro.errors import CommunityError
+from repro.extensions import (
+    co_membership,
+    consensus_cover,
+    consensus_oca,
+    cover_stability,
+)
+from repro.generators import ring_of_cliques, two_cliques_bridged
+
+
+class TestCoMembership:
+    def test_counts_pairs(self):
+        covers = [Cover([{1, 2, 3}]), Cover([{1, 2}, {3}])]
+        counts = co_membership(covers)
+        assert counts[(1, 2)] == 2
+        assert counts[(1, 3)] == 1
+        assert counts[(2, 3)] == 1
+
+    def test_overlapping_communities_count_once_per_cover(self):
+        cover = Cover([{1, 2, 3}, {2, 3, 4}])
+        counts = co_membership([cover])
+        assert counts[(2, 3)] == 1  # pair in two communities, one cover
+
+    def test_empty_input(self):
+        assert co_membership([]) == {}
+
+
+class TestConsensusCover:
+    def test_unanimous_covers_survive(self):
+        cover = Cover([{1, 2, 3}, {4, 5, 6}])
+        consensus = consensus_cover([cover, cover, cover])
+        assert consensus == cover
+
+    def test_minority_pairs_dropped(self):
+        majority = Cover([{1, 2, 3}])
+        outlier = Cover([{1, 2}, {3, 9}])
+        consensus = consensus_cover([majority, majority, outlier], threshold=0.6)
+        assert {1, 2, 3} in consensus
+        assert not any(9 in community for community in consensus)
+
+    def test_threshold_validated(self):
+        with pytest.raises(CommunityError):
+            consensus_cover([Cover([{1}])], threshold=0.0)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(CommunityError):
+            consensus_cover([])
+
+    def test_singletons_dropped(self):
+        covers = [Cover([{1, 2}, {9}])] * 2
+        consensus = consensus_cover(covers)
+        assert {9} not in consensus
+        assert {1, 2} in consensus
+
+
+class TestStability:
+    def test_identical_covers_fully_stable(self):
+        cover = Cover([{1, 2, 3}, {4, 5}])
+        assert cover_stability([cover, cover, cover]) == pytest.approx(1.0)
+
+    def test_disagreeing_covers_less_stable(self):
+        a = Cover([{1, 2, 3}, {4, 5, 6}])
+        b = Cover([{1, 2}, {3, 4}, {5, 6}])
+        assert cover_stability([a, b]) < 1.0
+
+    def test_needs_two_covers(self):
+        with pytest.raises(CommunityError):
+            cover_stability([Cover([{1}])])
+
+
+class TestConsensusOCA:
+    def test_stable_instance_full_agreement(self):
+        g, truth = ring_of_cliques(4, 6)
+        result = consensus_oca(g, runs=3, seed=0)
+        assert result.stability == pytest.approx(1.0)
+        assert theta(truth, result.cover) == pytest.approx(1.0)
+
+    def test_overlap_preserved_in_consensus(self):
+        g, truth = two_cliques_bridged(7, 2)
+        result = consensus_oca(g, runs=3, seed=1)
+        assert theta(truth, result.cover) >= 0.9
+
+    def test_runs_recorded(self):
+        g, _ = ring_of_cliques(3, 4)
+        result = consensus_oca(g, runs=4, seed=0)
+        assert len(result.runs) == 4
+
+    def test_runs_validated(self):
+        g, _ = ring_of_cliques(3, 4)
+        with pytest.raises(CommunityError):
+            consensus_oca(g, runs=0)
+
+    def test_repr(self):
+        g, _ = ring_of_cliques(3, 4)
+        assert "ConsensusResult" in repr(consensus_oca(g, runs=2, seed=0))

@@ -1,0 +1,113 @@
+"""Unit tests for power-law sampling."""
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generators import (
+    min_bound_for_mean,
+    powerlaw_mean,
+    powerlaw_weights,
+    sample_degree_sequence,
+    sample_powerlaw,
+    sample_sizes_to_total,
+)
+
+
+class TestWeights:
+    def test_weights_decreasing(self):
+        weights = powerlaw_weights(2.0, 1, 10)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_single_point_support(self):
+        assert len(powerlaw_weights(2.0, 5, 5)) == 1
+
+    def test_validates_support(self):
+        with pytest.raises(GeneratorError):
+            powerlaw_weights(2.0, 0, 5)
+        with pytest.raises(GeneratorError):
+            powerlaw_weights(2.0, 6, 5)
+
+
+class TestMean:
+    def test_mean_within_support(self):
+        mean = powerlaw_mean(2.0, 3, 30)
+        assert 3 <= mean <= 30
+
+    def test_mean_increases_with_low(self):
+        assert powerlaw_mean(2.0, 5, 50) > powerlaw_mean(2.0, 1, 50)
+
+
+class TestSampling:
+    def test_samples_in_range(self):
+        values = sample_powerlaw(500, 2.0, 4, 40, seed=0)
+        assert all(4 <= v <= 40 for v in values)
+
+    def test_deterministic(self):
+        assert sample_powerlaw(50, 2.0, 1, 20, seed=9) == sample_powerlaw(
+            50, 2.0, 1, 20, seed=9
+        )
+
+    def test_zero_count(self):
+        assert sample_powerlaw(0, 2.0, 1, 10) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(GeneratorError):
+            sample_powerlaw(-1, 2.0, 1, 10)
+
+    def test_heavy_tail_present(self):
+        values = sample_powerlaw(3000, 2.0, 1, 100, seed=0)
+        assert max(values) > 30  # the tail is actually sampled
+        assert sum(v == 1 for v in values) > len(values) / 4
+
+
+class TestMinBoundForMean:
+    def test_realises_target_mean(self):
+        low = min_bound_for_mean(20.0, 2.0, 60)
+        assert powerlaw_mean(2.0, low, 60) == pytest.approx(20.0, rel=0.25)
+
+    def test_unreachable_mean_raises(self):
+        with pytest.raises(GeneratorError):
+            min_bound_for_mean(100.0, 2.0, 50)
+
+    def test_tiny_mean_raises(self):
+        with pytest.raises(GeneratorError):
+            min_bound_for_mean(0.5, 2.0, 50)
+
+
+class TestDegreeSequence:
+    def test_even_sum(self):
+        degrees = sample_degree_sequence(101, 10.0, 30, seed=1)
+        assert sum(degrees) % 2 == 0
+
+    def test_mean_near_target(self):
+        degrees = sample_degree_sequence(2000, 15.0, 50, seed=1)
+        mean = sum(degrees) / len(degrees)
+        assert mean == pytest.approx(15.0, rel=0.2)
+
+    def test_max_respected(self):
+        degrees = sample_degree_sequence(500, 10.0, 25, seed=1)
+        assert max(degrees) <= 25
+
+    def test_max_degree_below_n(self):
+        with pytest.raises(GeneratorError):
+            sample_degree_sequence(10, 5.0, 10)
+
+
+class TestSizesToTotal:
+    def test_sum_exact(self):
+        sizes = sample_sizes_to_total(1000, 1.0, 10, 50, seed=2)
+        assert sum(sizes) == 1000
+
+    def test_bounds_respected_except_clip(self):
+        sizes = sample_sizes_to_total(1000, 1.0, 10, 50, seed=2)
+        # Clipping may push one size above high, never below low for
+        # multi-community outputs.
+        assert all(s >= 10 for s in sizes)
+
+    def test_small_total_single_community(self):
+        sizes = sample_sizes_to_total(12, 1.0, 10, 50, seed=0)
+        assert sum(sizes) == 12
+
+    def test_infeasible_total_raises(self):
+        with pytest.raises(GeneratorError):
+            sample_sizes_to_total(5, 1.0, 10, 50)

@@ -1,0 +1,102 @@
+"""Property-based tests on generator contracts (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    DaisyParams,
+    LFRParams,
+    daisy_graph,
+    erdos_renyi,
+    lfr_graph,
+    sample_powerlaw,
+    sample_sizes_to_total,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=60, max_value=200),
+    mu=st.floats(min_value=0.05, max_value=0.9),
+    seed=st.integers(0, 5),
+)
+def test_lfr_contract(n, mu, seed):
+    params = LFRParams(
+        n=n,
+        mu=mu,
+        average_degree=8.0,
+        max_degree=min(20, n - 1),
+        min_community=10,
+        max_community=min(40, n),
+    )
+    instance = lfr_graph(params, seed=seed)
+    # Exact node count, partition ground truth, degree cap.
+    assert instance.graph.number_of_nodes() == n
+    assert instance.communities.covered_nodes() == set(range(n))
+    assert not instance.communities.overlapping_nodes()
+    assert max(instance.graph.degree(v) for v in range(n)) <= params.max_degree
+    assert 0.0 <= instance.realized_mu <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=6),
+    reps=st.integers(min_value=1, max_value=3),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+    beta=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 5),
+)
+def test_daisy_contract(p, reps, alpha, beta, seed):
+    # q coprime-ish with p via q = p + 1; n a multiple of both.
+    q = p + 1
+    n = p * q * reps
+    params = DaisyParams(p=p, q=q, n=n, alpha=alpha, beta=beta)
+    instance = daisy_graph(params, seed=seed)
+    assert instance.graph.number_of_nodes() == n
+    # p - 1 petals + 1 core.
+    assert len(instance.communities) == p
+    # Petals and core follow the modular definition.
+    core = set(instance.communities[instance.core_ids[0]])
+    assert core == {v for v in range(n) if v % p == 0 or v % q == 0}
+    # Edges appear only inside planted parts.
+    parts = [set(c) for c in instance.communities]
+    for u, v in instance.graph.edges():
+        assert any(u in part and v in part for part in parts)
+
+
+@given(
+    count=st.integers(min_value=0, max_value=300),
+    exponent=st.floats(min_value=0.5, max_value=3.5),
+    low=st.integers(min_value=1, max_value=10),
+    span=st.integers(min_value=0, max_value=40),
+    seed=st.integers(0, 5),
+)
+def test_powerlaw_sampling_contract(count, exponent, low, span, seed):
+    high = low + span
+    values = sample_powerlaw(count, exponent, low, high, seed=seed)
+    assert len(values) == count
+    assert all(low <= v <= high for v in values)
+
+
+@given(
+    total=st.integers(min_value=10, max_value=500),
+    seed=st.integers(0, 5),
+)
+def test_sizes_always_sum_exactly(total, seed):
+    sizes = sample_sizes_to_total(total, 1.0, 10, 50, seed=seed)
+    assert sum(sizes) == total
+    assert all(s >= 1 for s in sizes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=40),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 5),
+)
+def test_erdos_renyi_contract(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    assert g.number_of_nodes() == n
+    maximum = n * (n - 1) // 2
+    assert 0 <= g.number_of_edges() <= maximum

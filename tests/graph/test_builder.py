@@ -1,0 +1,64 @@
+"""Unit tests for GraphBuilder input hygiene."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder
+
+
+def test_builds_simple_graph():
+    graph = GraphBuilder().add_edges([(0, 1), (1, 2)]).build()
+    assert graph.number_of_edges() == 2
+
+
+def test_duplicates_merged_and_counted():
+    builder = GraphBuilder()
+    builder.add_edges([(0, 1), (1, 0), (0, 1)])
+    assert builder.build().number_of_edges() == 1
+    assert builder.report.duplicates == 2
+    assert builder.report.edges_seen == 3
+    assert builder.report.edges_added == 1
+
+
+def test_self_loops_dropped_by_default():
+    builder = GraphBuilder()
+    builder.add_edge(5, 5)
+    assert builder.build().number_of_edges() == 0
+    assert builder.report.self_loops == 1
+
+
+def test_self_loops_can_be_fatal():
+    builder = GraphBuilder(drop_self_loops=False)
+    with pytest.raises(GraphError):
+        builder.add_edge(5, 5)
+
+
+def test_relabel_densifies_labels():
+    builder = GraphBuilder(relabel=True)
+    builder.add_edges([("x", "y"), ("y", "z")])
+    graph = builder.build()
+    assert set(graph.nodes()) == {0, 1, 2}
+    assert builder.labels == {"x": 0, "y": 1, "z": 2}
+
+
+def test_add_node_allows_isolates():
+    graph = GraphBuilder().add_node("solo").build()
+    assert graph.has_node("solo")
+    assert graph.degree("solo") == 0
+
+
+def test_report_as_dict():
+    builder = GraphBuilder()
+    builder.add_edges([(0, 1), (1, 1)])
+    report = builder.report.as_dict()
+    assert report["edges_seen"] == 2
+    assert report["self_loops"] == 1
+    assert report["edges_added"] == 1
+
+
+def test_build_is_reusable():
+    builder = GraphBuilder()
+    builder.add_edge(0, 1)
+    first = builder.build()
+    builder.add_edge(1, 2)
+    assert first.number_of_edges() == 2  # same object keeps growing

@@ -1,0 +1,65 @@
+"""Unit tests for third-party interop conversions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    from_edge_array,
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+networkx = pytest.importorskip("networkx")
+
+
+def test_networkx_round_trip(k5):
+    assert from_networkx(to_networkx(k5)) == k5
+
+
+def test_from_networkx_drops_self_loops():
+    nx_graph = networkx.Graph([(0, 0), (0, 1)])
+    graph = from_networkx(nx_graph)
+    assert graph.number_of_edges() == 1
+
+
+def test_from_networkx_symmetrises_directed():
+    nx_graph = networkx.DiGraph([(0, 1), (1, 0), (1, 2)])
+    graph = from_networkx(nx_graph)
+    assert graph.number_of_edges() == 2
+
+
+def test_from_networkx_keeps_isolates():
+    nx_graph = networkx.Graph()
+    nx_graph.add_node("solo")
+    assert from_networkx(nx_graph).has_node("solo")
+
+
+def test_scipy_round_trip(triangle):
+    assert from_scipy_sparse(to_scipy_sparse(triangle)) == triangle
+
+
+def test_from_scipy_requires_square():
+    with pytest.raises(GraphError):
+        from_scipy_sparse(sp.csr_matrix(np.ones((2, 3))))
+
+
+def test_from_scipy_ignores_diagonal():
+    matrix = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+    graph = from_scipy_sparse(matrix)
+    assert graph.number_of_edges() == 1
+
+
+def test_from_edge_array():
+    edges = np.array([[0, 1], [1, 2], [2, 2]])
+    graph = from_edge_array(edges)
+    assert graph.number_of_edges() == 2
+
+
+def test_from_edge_array_shape_checked():
+    with pytest.raises(GraphError):
+        from_edge_array(np.array([0, 1, 2]))

@@ -1,0 +1,94 @@
+"""Unit tests for graph statistics."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    density,
+    local_clustering,
+    summarize,
+    triangle_count,
+)
+from repro.generators import complete_graph, cycle_graph, path_graph, star_graph
+
+
+def test_density_complete_graph_is_one():
+    assert density(complete_graph(6)) == pytest.approx(1.0)
+
+
+def test_density_empty_and_tiny():
+    assert density(Graph()) == 0.0
+    assert density(Graph(nodes=[1])) == 0.0
+
+
+def test_average_degree_cycle():
+    assert average_degree(cycle_graph(7)) == pytest.approx(2.0)
+
+
+def test_average_degree_empty():
+    assert average_degree(Graph()) == 0.0
+
+
+def test_degree_histogram_star():
+    histogram = degree_histogram(star_graph(5))
+    assert histogram == {5: 1, 1: 5}
+
+
+def test_local_clustering_triangle(triangle):
+    assert local_clustering(triangle, 0) == pytest.approx(1.0)
+
+
+def test_local_clustering_path_midpoint(path5):
+    assert local_clustering(path5, 2) == 0.0
+
+
+def test_local_clustering_leaf(path5):
+    assert local_clustering(path5, 0) == 0.0
+
+
+def test_average_clustering_complete():
+    assert average_clustering(complete_graph(5)) == pytest.approx(1.0)
+
+
+def test_average_clustering_empty():
+    assert average_clustering(Graph()) == 0.0
+
+
+def test_triangle_count_k4():
+    assert triangle_count(complete_graph(4)) == 4
+
+
+def test_triangle_count_cycle():
+    assert triangle_count(cycle_graph(5)) == 0
+
+
+def test_triangle_count_k5():
+    assert triangle_count(complete_graph(5)) == 10
+
+
+def test_summarize_fields(k5):
+    summary = summarize(k5)
+    assert summary.nodes == 5
+    assert summary.edges == 10
+    assert summary.min_degree == summary.max_degree == 4
+    assert summary.components == 1
+    assert summary.largest_component == 5
+    assert summary.average_degree == pytest.approx(4.0)
+
+
+def test_summarize_disconnected():
+    g = Graph(edges=[(0, 1)], nodes=[5])
+    summary = summarize(g)
+    assert summary.components == 2
+    assert summary.min_degree == 0
+
+
+def test_summary_as_row_keys(k5):
+    row = summarize(k5).as_row()
+    assert set(row) == {
+        "nodes", "edges", "min_degree", "max_degree",
+        "average_degree", "density", "components", "largest_component",
+    }

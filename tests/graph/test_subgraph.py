@@ -1,0 +1,81 @@
+"""Unit tests for subgraph and neighbourhood extraction."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph import (
+    Graph,
+    ego_network,
+    induced_subgraph,
+    neighborhood,
+    random_neighborhood_subset,
+)
+from repro.generators import complete_graph, path_graph, star_graph
+
+
+def test_induced_subgraph_keeps_internal_edges(k5):
+    sub = induced_subgraph(k5, {0, 1, 2})
+    assert sub.number_of_nodes() == 3
+    assert sub.number_of_edges() == 3
+
+
+def test_induced_subgraph_empty():
+    sub = induced_subgraph(complete_graph(4), set())
+    assert sub.number_of_nodes() == 0
+
+
+def test_induced_subgraph_rejects_missing_nodes(k5):
+    with pytest.raises(NodeNotFoundError):
+        induced_subgraph(k5, {0, 99})
+
+
+def test_neighborhood_radius_zero(path5):
+    assert neighborhood(path5, 2, radius=0) == {2}
+
+
+def test_neighborhood_radius_one(path5):
+    assert neighborhood(path5, 2, radius=1) == {1, 2, 3}
+
+
+def test_neighborhood_radius_covers_graph(path5):
+    assert neighborhood(path5, 0, radius=4) == {0, 1, 2, 3, 4}
+
+
+def test_neighborhood_negative_radius_raises(path5):
+    with pytest.raises(ValueError):
+        neighborhood(path5, 0, radius=-1)
+
+
+def test_neighborhood_of_missing_node_raises(path5):
+    with pytest.raises(NodeNotFoundError):
+        neighborhood(path5, 42)
+
+
+def test_ego_network_is_induced(path5):
+    ego = ego_network(path5, 2, radius=1)
+    assert set(ego.nodes()) == {1, 2, 3}
+    assert ego.number_of_edges() == 2
+
+
+def test_random_neighborhood_always_contains_seed():
+    star = star_graph(10)
+    chosen = random_neighborhood_subset(star, 0, fraction=0.0, seed=1)
+    assert chosen == {0}
+
+
+def test_random_neighborhood_full_fraction_is_closed_neighborhood():
+    star = star_graph(10)
+    chosen = random_neighborhood_subset(star, 0, fraction=1.0, seed=1)
+    assert chosen == set(range(11))
+
+
+def test_random_neighborhood_reproducible():
+    g = complete_graph(20)
+    a = random_neighborhood_subset(g, 0, fraction=0.5, seed=7)
+    b = random_neighborhood_subset(g, 0, fraction=0.5, seed=7)
+    assert a == b
+
+
+def test_random_neighborhood_fraction_validated(k5):
+    with pytest.raises(ValueError):
+        random_neighborhood_subset(k5, 0, fraction=1.5)

@@ -1,0 +1,113 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.communities import read_cover
+from repro.generators import ring_of_cliques
+from repro.graph import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g, _ = ring_of_cliques(3, 5)
+    path = tmp_path / "graph.txt"
+    write_edge_list(g, path)
+    return path
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_detect_to_stdout(graph_file, capsys):
+    assert main(["detect", str(graph_file), "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) >= 3
+
+
+def test_detect_to_file(graph_file, tmp_path, capsys):
+    output = tmp_path / "cover.txt"
+    code = main(
+        ["detect", str(graph_file), "--seed", "0", "--output", str(output)]
+    )
+    assert code == 0
+    cover = read_cover(output)
+    assert len(cover) == 3
+    assert "communities" in capsys.readouterr().out
+
+
+def test_detect_lfk(graph_file, capsys):
+    assert main(["detect", str(graph_file), "--algorithm", "LFK", "--seed", "0"]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_detect_raw_mode(graph_file, capsys):
+    assert main(["detect", str(graph_file), "--raw", "--seed", "0"]) == 0
+
+
+def test_info(graph_file, capsys):
+    assert main(["info", str(graph_file)]) == 0
+    out = capsys.readouterr().out
+    assert "nodes: 15" in out
+    assert "edges:" in out
+
+
+def test_experiment_table1(capsys):
+    assert main(["experiment", "table1", "--seed", "0"]) == 0
+    assert "LFR-benchmark" in capsys.readouterr().out
+
+
+def test_invalid_algorithm_rejected(graph_file):
+    with pytest.raises(SystemExit):
+        main(["detect", str(graph_file), "--algorithm", "Louvain"])
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+
+
+class TestGenerate:
+    def test_generate_lfr_with_truth(self, tmp_path, capsys):
+        out = tmp_path / "lfr.txt"
+        truth = tmp_path / "truth.txt"
+        code = main([
+            "generate", "lfr", "--n", "200", "--mu", "0.2",
+            "--out", str(out), "--truth", str(truth), "--seed", "1",
+        ])
+        assert code == 0
+        from repro.graph import read_edge_list
+
+        graph = read_edge_list(out)
+        assert graph.number_of_nodes() == 200
+        cover = read_cover(truth)
+        assert cover.covered_nodes() == set(range(200))
+        assert "200 nodes" in capsys.readouterr().out
+
+    def test_generate_daisy(self, tmp_path):
+        out = tmp_path / "daisy.txt"
+        assert main(["generate", "daisy", "--flowers", "2", "--out", str(out)]) == 0
+        from repro.graph import read_edge_list
+
+        assert read_edge_list(out).number_of_nodes() == 120
+
+    def test_generate_wikipedia(self, tmp_path):
+        out = tmp_path / "wiki.txt"
+        assert main(["generate", "wikipedia", "--n", "500", "--out", str(out)]) == 0
+        from repro.graph import read_edge_list
+
+        assert read_edge_list(out).number_of_nodes() == 500
+
+    def test_generate_then_detect(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        main(["generate", "daisy", "--flowers", "1", "--out", str(out), "--seed", "3"])
+        capsys.readouterr()
+        assert main(["detect", str(out), "--seed", "3"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) >= 4
+
+    def test_generate_unknown_family_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "mystery", "--out", str(tmp_path / "x.txt")])

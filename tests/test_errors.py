@@ -1,0 +1,67 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    CommunityError,
+    ConfigurationError,
+    ConvergenceError,
+    EdgeNotFoundError,
+    EmptyCommunityError,
+    GeneratorError,
+    GraphError,
+    GraphFormatError,
+    NodeNotFoundError,
+    ReproError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for cls in (
+        GraphError,
+        NodeNotFoundError,
+        EdgeNotFoundError,
+        GraphFormatError,
+        CommunityError,
+        EmptyCommunityError,
+        GeneratorError,
+        AlgorithmError,
+        ConvergenceError,
+        ConfigurationError,
+    ):
+        assert issubclass(cls, ReproError)
+
+
+def test_lookup_errors_are_key_errors():
+    assert issubclass(NodeNotFoundError, KeyError)
+    assert issubclass(EdgeNotFoundError, KeyError)
+
+
+def test_value_like_errors_are_value_errors():
+    assert issubclass(GraphFormatError, ValueError)
+    assert issubclass(GeneratorError, ValueError)
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(EmptyCommunityError, ValueError)
+
+
+def test_node_not_found_carries_node():
+    error = NodeNotFoundError(("a", 1))
+    assert error.node == ("a", 1)
+    assert "('a', 1)" in str(error)
+
+
+def test_edge_not_found_carries_endpoints():
+    error = EdgeNotFoundError(1, 2)
+    assert (error.u, error.v) == (1, 2)
+
+
+def test_convergence_error_carries_diagnostics():
+    error = ConvergenceError("no", iterations=100, residual=0.5)
+    assert error.iterations == 100
+    assert error.residual == 0.5
+
+
+def test_catch_all_with_base():
+    with pytest.raises(ReproError):
+        raise GeneratorError("bad parameter")

@@ -1,0 +1,67 @@
+"""Unit tests for RNG plumbing."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro._rng import as_numpy_rng, as_random, spawn_seed
+
+
+def test_as_random_from_int_deterministic():
+    assert as_random(7).random() == as_random(7).random()
+
+
+def test_as_random_passthrough():
+    rng = random.Random(1)
+    assert as_random(rng) is rng
+
+
+def test_as_random_from_none_differs():
+    # Two fresh generators almost surely differ.
+    assert as_random(None).random() != as_random(None).random()
+
+
+def test_as_random_from_numpy_generator():
+    rng = as_random(np.random.default_rng(3))
+    assert isinstance(rng, random.Random)
+
+
+def test_as_random_rejects_garbage():
+    with pytest.raises(TypeError):
+        as_random("seed")
+
+
+def test_as_numpy_from_int_deterministic():
+    a = as_numpy_rng(5).integers(1000)
+    b = as_numpy_rng(5).integers(1000)
+    assert a == b
+
+
+def test_as_numpy_passthrough():
+    rng = np.random.default_rng(0)
+    assert as_numpy_rng(rng) is rng
+
+
+def test_as_numpy_from_python_random():
+    assert isinstance(as_numpy_rng(random.Random(1)), np.random.Generator)
+
+
+def test_as_numpy_rejects_garbage():
+    with pytest.raises(TypeError):
+        as_numpy_rng(object())
+
+
+def test_spawn_seed_deterministic():
+    assert spawn_seed(random.Random(9)) == spawn_seed(random.Random(9))
+
+
+def test_spawn_seed_stream_advances():
+    rng = random.Random(9)
+    assert spawn_seed(rng) != spawn_seed(rng)
+
+
+def test_numpy_integer_seed_accepted():
+    value = np.int64(42)
+    assert as_random(value).random() == as_random(42).random()
+    assert as_numpy_rng(value).integers(10) == as_numpy_rng(42).integers(10)
