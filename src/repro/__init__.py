@@ -17,7 +17,13 @@ The package implements:
   plus standard metrics (:mod:`repro.communities`);
 * a self-contained **graph substrate** (:mod:`repro.graph`) and the
   **experiment harness** regenerating every table and figure
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* a pluggable **execution engine** (:mod:`repro.engine`) that fans the
+  repeated local searches out over serial/thread/process worker pools
+  with deterministic per-task RNG streams — ``oca(g, seed=7, workers=8,
+  batch_size=32)`` returns the same cover for any worker count and
+  backend (``batch_size > 1`` opts into the speculative batching that
+  makes the workers useful; the default of 1 is exactly sequential).
 
 Quickstart::
 
@@ -46,6 +52,7 @@ from .errors import (
 from .graph import Graph
 from .communities import Community, Cover, Partition, rho, theta
 from .core import OCA, OCAConfig, OCAResult, oca, admissible_c
+from .engine import EngineStats, ExecutionEngine, make_backend
 from .baselines import cfinder, lfk, clique_percolation
 
 __version__ = "1.0.0"
@@ -74,6 +81,9 @@ __all__ = [
     "OCAResult",
     "oca",
     "admissible_c",
+    "ExecutionEngine",
+    "EngineStats",
+    "make_backend",
     "cfinder",
     "lfk",
     "clique_percolation",

@@ -71,6 +71,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip post-processing (merging and orphan assignment)",
     )
+    detect.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker-pool size for the execution engine (0 = one per CPU; "
+            "the cover is identical for any value; pair with --batch-size "
+            "to actually keep the workers busy)"
+        ),
+    )
+    detect.add_argument(
+        "--backend",
+        choices=["auto", "serial", "thread", "process"],
+        default="auto",
+        help="execution backend (auto = serial for 1 worker, processes otherwise)",
+    )
+    detect.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "local searches dispatched per batch; 1 (default) is exactly "
+            "the sequential algorithm, a few times --workers enables "
+            "speculative parallelism"
+        ),
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table or figure"
@@ -120,6 +146,9 @@ def _command_detect(args: argparse.Namespace) -> int:
         seed=args.seed,
         quality_mode=not args.raw,
         assign_orphans=False,
+        workers=args.workers,
+        backend=args.backend,
+        batch_size=args.batch_size,
     )
     if args.output:
         write_cover(run.cover, args.output)

@@ -54,6 +54,20 @@ class OCAConfig:
         from the graph size.
     spectral_tol / spectral_max_iterations:
         Power-method controls for computing ``c``.
+    workers:
+        Worker-pool size for the execution engine; 1 (default) runs the
+        local searches inline, 0 means one worker per CPU.  The cover is
+        identical for every worker count — parallelism only changes
+        wall-clock time.
+    backend:
+        Execution backend name: ``auto`` (serial for one worker,
+        processes otherwise), ``serial``, ``thread``, ``process``, or a
+        name registered via :func:`repro.engine.register_backend`.
+    batch_size:
+        Local searches dispatched per speculative batch (``None`` picks
+        the engine default).  Unlike ``workers``, this knob *is* part of
+        the result's identity: seeding within a batch sees the covered
+        set as of the batch start.
     fitness:
         Optional custom objective for the greedy search; ``None``
         (default, and the paper's algorithm) uses the directed Laplacian
@@ -72,6 +86,9 @@ class OCAConfig:
     max_growth_steps: Optional[int] = None
     spectral_tol: float = 1e-6
     spectral_max_iterations: int = 10000
+    workers: int = 1
+    backend: str = "auto"
+    batch_size: Optional[int] = None
     fitness: Optional[FitnessFunction] = None
 
     def __post_init__(self) -> None:
@@ -92,6 +109,18 @@ class OCAConfig:
         if self.max_growth_steps is not None and self.max_growth_steps <= 0:
             raise ConfigurationError(
                 f"max_growth_steps must be positive, got {self.max_growth_steps}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0 (0 = one per CPU), got {self.workers}"
+            )
+        if not isinstance(self.backend, str):
+            raise ConfigurationError(
+                f"backend must be a backend name, got {self.backend!r}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
             )
         if self.halting is None:
             self.halting = StagnationHalting(patience=20)

@@ -17,23 +17,29 @@ Typical use::
     print(result.cover)
 
 The functional wrapper :func:`oca` covers common cases; the :class:`OCA`
-class exposes the full configuration surface.
+class exposes the full configuration surface.  The repeated local
+searches run on the pluggable :mod:`repro.engine` — ``oca(g, seed=7,
+workers=8, batch_size=32)`` fans them out over eight processes and
+returns the exact cover that ``workers=1`` would.  (``batch_size``
+controls how many searches are in flight at once; the default of 1 is
+the paper's exact sequential semantics, so raising it is what actually
+enables parallelism.)
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Hashable, List, Optional
 
 from .._rng import SeedLike, as_random
 from ..communities import Cover
+from ..engine.engine import ExecutionEngine
+from ..engine.progress import EngineStats
 from ..errors import AlgorithmError
-from ..graph import Graph, random_neighborhood_subset
+from ..graph import Graph
 from .config import OCAConfig
 from .fitness import DirectedLaplacianFitness, FitnessFunction
-from .growth import grow_community
-from .halting import RunStatistics
 from .postprocess import postprocess
 from .seeding import SeedingStrategy, make_seeding
 from .vector_space import admissible_c
@@ -65,6 +71,9 @@ class OCAResult:
         Fitness of each distinct raw community, in discovery order.
     elapsed_seconds:
         Wall-clock duration of the whole execution.
+    engine_stats:
+        Batching/dispatch statistics from the execution engine
+        (``None`` only for the trivial empty-graph short-circuit).
     """
 
     cover: Cover
@@ -75,6 +84,7 @@ class OCAResult:
     discarded_small: int
     fitness_values: List[float] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    engine_stats: Optional[EngineStats] = None
 
     def __repr__(self) -> str:
         return (
@@ -122,7 +132,15 @@ class OCA:
 
     # ------------------------------------------------------------------
     def run(self, graph: Graph, seed: SeedLike = None) -> OCAResult:
-        """Execute OCA on ``graph``; fully deterministic given ``seed``."""
+        """Execute OCA on ``graph``; fully deterministic given ``seed``.
+
+        The repeated local searches are delegated to the execution
+        engine.  All randomness is consumed centrally from one shared
+        generator (spectral resolution of ``c``, then scheduling), so
+        the cover depends only on ``seed`` and ``batch_size`` — never on
+        ``workers`` or ``backend`` — and the default ``batch_size=1``
+        reproduces the sequential algorithm draw-for-draw.
+        """
         start = time.perf_counter()
         n = graph.number_of_nodes()
         if n == 0:
@@ -142,44 +160,24 @@ class OCA:
         else:
             fitness = DirectedLaplacianFitness(c)
         seeding = self._resolve_seeding()
-        halting = self.config.halting
 
-        found: Dict[frozenset, float] = {}
-        covered: Set[Node] = set()
-        stats = RunStatistics()
-        discarded_small = 0
-        duplicate_runs = 0
+        engine = ExecutionEngine(
+            backend=self.config.backend,
+            workers=self.config.workers,
+            batch_size=self.config.batch_size,
+        )
+        outcome = engine.run(
+            graph,
+            fitness=fitness,
+            seeding=seeding,
+            halting=self.config.halting,
+            seed=rng,
+            seed_fraction=self.config.seed_fraction,
+            max_growth_steps=self.config.max_growth_steps,
+            min_community_size=self.config.min_community_size,
+        )
 
-        while not halting.should_stop(stats):
-            seed_node = seeding.next_seed(graph, covered, rng)
-            if seed_node is None:
-                break
-            initial = random_neighborhood_subset(
-                graph, seed_node, fraction=self.config.seed_fraction, seed=rng
-            )
-            growth = grow_community(
-                graph,
-                initial,
-                fitness,
-                max_steps=self.config.max_growth_steps,
-            )
-            stats.runs += 1
-            community = growth.members
-            if len(community) < self.config.min_community_size:
-                discarded_small += 1
-                stats.consecutive_duplicates += 1
-                continue
-            if community in found:
-                duplicate_runs += 1
-                stats.consecutive_duplicates += 1
-                continue
-            found[community] = growth.fitness_value
-            covered |= community
-            stats.communities = len(found)
-            stats.covered_fraction = len(covered) / n
-            stats.consecutive_duplicates = 0
-
-        raw_cover = Cover(found)
+        raw_cover = Cover(outcome.found)
         final_cover = postprocess(
             graph,
             raw_cover,
@@ -190,11 +188,12 @@ class OCA:
             cover=final_cover,
             raw_cover=raw_cover,
             c=c,
-            runs=stats.runs,
-            duplicate_runs=duplicate_runs,
-            discarded_small=discarded_small,
-            fitness_values=list(found.values()),
+            runs=outcome.run_stats.runs,
+            duplicate_runs=outcome.duplicate_runs,
+            discarded_small=outcome.discarded_small,
+            fitness_values=list(outcome.found.values()),
             elapsed_seconds=time.perf_counter() - start,
+            engine_stats=outcome.engine_stats,
         )
 
 

@@ -47,6 +47,13 @@ class SeedingStrategy(Protocol):
     ``next_seed`` returns a node to start the next local search from, or
     ``None`` when the strategy has nothing left to propose (OCA treats
     that as a halting signal alongside the configured criterion).
+
+    Implementations may set the class attribute ``covered_aware = True``
+    to declare that they never propose an already-covered node.  The
+    parallel execution engine uses this as a precondition: a
+    speculatively executed task whose seed node became covered while the
+    task was in flight is discarded at reduction time, mirroring the
+    sequential loop, which would never have seeded it.
     """
 
     def next_seed(
@@ -58,6 +65,8 @@ class SeedingStrategy(Protocol):
 
 class RandomSeeding:
     """Uniformly random seeds, with replacement."""
+
+    covered_aware = False
 
     def __init__(self) -> None:
         self._nodes: Optional[List[Node]] = None
@@ -78,6 +87,8 @@ class DegreeBiasedSeeding:
     The ``+1`` keeps isolated nodes reachable (they form their own
     singleton communities rather than being unseedable).
     """
+
+    covered_aware = False
 
     def __init__(self) -> None:
         self._nodes: Optional[List[Node]] = None
@@ -108,6 +119,8 @@ class UncoveredFirstSeeding:
     large graphs: the pool only shrinks, and stale entries are skipped on
     draw.
     """
+
+    covered_aware = True
 
     def __init__(self) -> None:
         self._pool: Optional[List[Node]] = None

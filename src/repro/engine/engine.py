@@ -1,0 +1,214 @@
+"""The execution engine: batched, parallel, deterministic local search.
+
+Orchestrates the three engine roles around a worker pool:
+
+1. the :class:`~repro.engine.scheduler.BatchScheduler` picks the next
+   batch of seed nodes centrally (sequential, cheap);
+2. the :class:`~repro.engine.backends.ExecutionBackend` runs the batch's
+   growth tasks concurrently (parallel, expensive);
+3. the :class:`~repro.engine.reducer.CoverReducer` folds results in task
+   order, re-evaluating the halting criterion before each one
+   (sequential, cheap).
+
+Determinism contract: the outcome is a pure function of ``(graph,
+config, seed, batch_size)`` — the worker count and backend choice only
+change wall-clock time, never the cover.  With ``batch_size=1`` the
+engine reproduces the paper's sequential algorithm draw-for-draw;
+larger batches trade bounded covered-set staleness for throughput.
+Batches are speculative; the reducer discards whatever a sequential run
+would not have executed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Set
+
+from .._rng import SeedLike, as_master_seed, as_random
+from ..core.fitness import FitnessFunction
+from ..core.halting import HaltingCriterion, RunStatistics
+from ..core.seeding import SeedingStrategy
+from ..graph import Graph
+from .backends import make_backend, resolve_backend_name
+from .progress import BatchRecord, EngineStats, ProgressCallback
+from .reducer import CoverReducer
+from .scheduler import BatchScheduler
+from .tasks import (
+    WorkerContext,
+    execute_growth_task,
+    execute_in_worker,
+    initialize_worker,
+)
+
+__all__ = ["DEFAULT_BATCH_SIZE", "EngineOutcome", "ExecutionEngine"]
+
+Node = Hashable
+
+#: Default tasks per batch.  1 on purpose, for two reasons: results
+#: depend on the batch size (seeding within a batch sees the covered set
+#: as of the batch start), so the default must be a fixed constant —
+#: deriving it from the worker count would make covers depend on the
+#: hardware — and at 1 the engine is *exactly* the paper's sequential
+#: algorithm.  Parallel callers opt into speculation by raising it
+#: (a few times the worker count works well).
+DEFAULT_BATCH_SIZE = 1
+
+
+@dataclass
+class EngineOutcome:
+    """Everything one engine execution produced, pre-postprocessing."""
+
+    found: Dict[frozenset, float]
+    covered: Set[Node]
+    run_stats: RunStatistics
+    duplicate_runs: int
+    discarded_small: int
+    engine_stats: EngineStats = field(default_factory=EngineStats)
+
+
+class ExecutionEngine:
+    """Drives repeated local searches through a pluggable worker pool.
+
+    Parameters
+    ----------
+    backend:
+        ``auto`` (serial for one worker, processes otherwise),
+        ``serial``, ``thread``, ``process``, or a registered custom name.
+    workers:
+        Pool size; 0 means one per CPU.
+    batch_size:
+        Tasks per speculative batch (``None`` for the default).  Part of
+        the result's deterministic identity; see the module docstring.
+    progress:
+        Optional per-batch callback (see :mod:`repro.engine.progress`).
+    """
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        workers: int = 1,
+        batch_size: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.backend = backend
+        self.workers = workers
+        self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: Graph,
+        fitness: FitnessFunction,
+        seeding: SeedingStrategy,
+        halting: HaltingCriterion,
+        seed: SeedLike = None,
+        seed_fraction: float = 0.6,
+        max_growth_steps: Optional[int] = None,
+        min_community_size: int = 1,
+    ) -> EngineOutcome:
+        """Execute the OCA outer loop to completion.
+
+        ``seed`` may be an int or an already-consumed shared generator
+        (what :class:`~repro.core.oca.OCA` passes after resolving ``c``
+        from it); all scheduling randomness is drawn from it centrally,
+        so two calls with the same arguments (including ``batch_size``)
+        return identical outcomes regardless of ``workers`` and
+        ``backend``.
+        """
+        # Fingerprint first — as_master_seed is non-consuming, so the
+        # shared generator's draw sequence is untouched.
+        master = as_master_seed(seed)
+        rng = as_random(seed)
+        scheduler = BatchScheduler(
+            graph,
+            seeding,
+            rng=rng,
+            master_seed=master,
+            seed_fraction=seed_fraction,
+            batch_size=self.batch_size,
+        )
+        reducer = CoverReducer(
+            total_nodes=graph.number_of_nodes(),
+            min_community_size=min_community_size,
+            halting=halting,
+            skip_stale_seeds=getattr(seeding, "covered_aware", False),
+        )
+        context = WorkerContext(
+            graph=graph,
+            fitness=fitness,
+            max_growth_steps=max_growth_steps,
+        )
+        backend = make_backend(
+            self.backend,
+            self.workers,
+            initializer=initialize_worker,
+            initargs=(context,),
+        )
+        stats = EngineStats(
+            backend=resolve_backend_name(self.backend, backend.workers),
+            workers=backend.workers,
+            batch_size=self.batch_size,
+        )
+        if backend.uses_processes:
+            # Only the tiny task objects cross the pipe; the context was
+            # shipped once per worker through the initializer.
+            def run_batch(tasks):
+                return backend.map_ordered(execute_in_worker, tasks)
+
+        else:
+
+            def run_batch(tasks):
+                return backend.map_ordered(
+                    lambda task: execute_growth_task(context, task), tasks
+                )
+
+        try:
+            while not reducer.should_stop():
+                tasks = scheduler.next_batch(reducer.covered)
+                if not tasks:
+                    break
+                communities_before = len(reducer.found)
+                duplicates_before = reducer.duplicate_runs
+                small_before = reducer.discarded_small
+                discarded_before = reducer.discarded_after_halt
+                stale_before = reducer.discarded_stale
+
+                dispatch_start = time.perf_counter()
+                results = run_batch(tasks)
+                dispatch_seconds = time.perf_counter() - dispatch_start
+
+                reduce_start = time.perf_counter()
+                stopped = reducer.fold(results)
+                reduce_seconds = time.perf_counter() - reduce_start
+
+                record = BatchRecord(
+                    index=stats.batches,
+                    tasks=len(tasks),
+                    new_communities=len(reducer.found) - communities_before,
+                    duplicates=reducer.duplicate_runs - duplicates_before,
+                    discarded_small=reducer.discarded_small - small_before,
+                    discarded_after_halt=reducer.discarded_after_halt
+                    - discarded_before,
+                    discarded_stale=reducer.discarded_stale - stale_before,
+                    covered_fraction=reducer.stats.covered_fraction,
+                    dispatch_seconds=dispatch_seconds,
+                    reduce_seconds=reduce_seconds,
+                )
+                stats.record_batch(record)
+                if self.progress is not None:
+                    self.progress(record)
+                if stopped:
+                    break
+        finally:
+            backend.close()
+
+        return EngineOutcome(
+            found=reducer.found,
+            covered=reducer.covered,
+            run_stats=reducer.stats,
+            duplicate_runs=reducer.duplicate_runs,
+            discarded_small=reducer.discarded_small,
+            engine_stats=stats,
+        )

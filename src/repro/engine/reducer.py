@@ -1,0 +1,118 @@
+"""Ordered reduction of worker results into one evolving cover.
+
+The reducer is the sequential heart that makes parallel OCA equivalent
+to the paper's loop: results fold strictly in task order, the halting
+criterion is re-evaluated *before* each result is consumed (mirroring
+the ``while not should_stop: run`` shape of the sequential driver), and
+results past the stopping point are discarded as if those runs had never
+been launched.  Workers therefore only ever compute *speculatively*;
+what the algorithm "did" is decided here, deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+from ..core.halting import HaltingCriterion, RunStatistics
+from .tasks import GrowthTaskResult
+
+__all__ = ["CoverReducer"]
+
+Node = Hashable
+
+
+class CoverReducer:
+    """Folds :class:`~repro.engine.tasks.GrowthTaskResult` streams.
+
+    Parameters
+    ----------
+    total_nodes:
+        Node count of the graph (for the covered fraction statistic).
+    min_community_size:
+        Local optima smaller than this are discarded.
+    halting:
+        The run's halting criterion; probed before consuming each result.
+    skip_stale_seeds:
+        Staleness guard for covered-aware seeding strategies: a result
+        whose seed node is already covered at fold time is dropped
+        *without* counting as a run, because the sequential loop — whose
+        seeding would have seen the up-to-date covered set — would never
+        have launched it.  Must stay off for strategies that legally
+        re-seed covered nodes (their duplicate discoveries drive
+        stagnation halting).
+
+    Attributes
+    ----------
+    found:
+        Distinct communities so far, mapped to their fitness, in
+        discovery order.
+    covered:
+        Union of all found communities.
+    stats:
+        Live :class:`~repro.core.halting.RunStatistics` fed to halting.
+    duplicate_runs / discarded_small:
+        Fold-level counters matching the sequential driver's.
+    discarded_after_halt:
+        Speculative results thrown away because halting tripped mid-batch.
+    discarded_stale:
+        Speculative results dropped by the staleness guard.
+    """
+
+    def __init__(
+        self,
+        total_nodes: int,
+        min_community_size: int,
+        halting: HaltingCriterion,
+        skip_stale_seeds: bool = False,
+    ) -> None:
+        self._total_nodes = max(total_nodes, 1)
+        self._min_community_size = min_community_size
+        self._halting = halting
+        self._skip_stale_seeds = skip_stale_seeds
+        self.found: Dict[frozenset, float] = {}
+        self.covered: Set[Node] = set()
+        self.stats = RunStatistics()
+        self.duplicate_runs = 0
+        self.discarded_small = 0
+        self.discarded_after_halt = 0
+        self.discarded_stale = 0
+
+    # ------------------------------------------------------------------
+    def should_stop(self) -> bool:
+        """Probe the halting criterion against the current statistics."""
+        return self._halting.should_stop(self.stats)
+
+    def fold(self, results: Iterable[GrowthTaskResult]) -> bool:
+        """Fold a batch of results in task order.
+
+        Returns True when the halting criterion tripped, in which case
+        the remaining results of the batch were discarded unseen.
+        """
+        ordered: List[GrowthTaskResult] = sorted(results, key=lambda r: r.index)
+        for position, result in enumerate(ordered):
+            if self.should_stop():
+                self.discarded_after_halt += len(ordered) - position
+                return True
+            self._fold_one(result)
+        return False
+
+    # ------------------------------------------------------------------
+    def _fold_one(self, result: GrowthTaskResult) -> None:
+        if self._skip_stale_seeds and result.seed_node in self.covered:
+            self.discarded_stale += 1
+            return
+        self.stats.runs += 1
+        community = result.members
+        if len(community) < self._min_community_size:
+            self.discarded_small += 1
+            self.stats.consecutive_duplicates += 1
+            return
+        if community in self.found:
+            self.duplicate_runs += 1
+            self.stats.consecutive_duplicates += 1
+            return
+        self.found[community] = result.fitness_value
+        self.covered |= community
+        self.stats.communities = len(self.found)
+        self.stats.covered_fraction = len(self.covered) / self._total_nodes
+        self.stats.consecutive_duplicates = 0

@@ -1,0 +1,132 @@
+"""Task and worker-context types for the execution engine.
+
+A *growth task* is one unit of OCA work: "start from this initial node
+set and climb to a local fitness maximum".  All randomness — seed
+selection and the random-neighbourhood draw — happens centrally in the
+scheduler *before* the task is created, and the greedy climb itself is
+fully deterministic, so a task is a pure value: any worker, in any
+process, at any time produces the same result from it.
+
+Tasks stay small (an index, a node, the initial set, an integer stream
+seed); the heavy shared state — the graph and the fitness function —
+travels once per worker inside a :class:`WorkerContext` via the pool
+initializer.  The task index doubles as the fold order, so results are
+mergeable no matter which worker computed them or when they arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from ..core.fitness import FitnessFunction
+from ..core.growth import grow_community
+from ..graph import Graph
+
+__all__ = [
+    "GrowthTask",
+    "GrowthTaskResult",
+    "WorkerContext",
+    "execute_growth_task",
+    "initialize_worker",
+    "execute_in_worker",
+]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class GrowthTask:
+    """One scheduled local search.
+
+    Attributes
+    ----------
+    index:
+        Global task counter; keys the fold order and the RNG stream.
+    seed_node:
+        Node the search was seeded from (picked centrally); the reducer
+        uses it for the staleness guard.
+    initial_members:
+        The "random neighbourhood of the seed" the climb starts from,
+        drawn centrally by the scheduler so the draw order matches the
+        sequential algorithm exactly.
+    rng_seed:
+        Private stream seed, ``derive_seed(master, STREAM_GROWTH,
+        index)``; handed to the (currently deterministic) growth kernel
+        so future stochastic tie-breaking stays reproducible per task.
+    """
+
+    index: int
+    seed_node: Node
+    initial_members: frozenset
+    rng_seed: int
+
+
+@dataclass(frozen=True)
+class GrowthTaskResult:
+    """What one local search produced, tagged for ordered reduction."""
+
+    index: int
+    seed_node: Node
+    members: frozenset
+    fitness_value: float
+    steps: int
+    converged: bool
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Shared read-only state a worker needs to execute any growth task.
+
+    Shipped once per worker (pool initializer), not once per task; must
+    therefore stay picklable for the process backend — which the pure
+    Python :class:`~repro.graph.Graph` and the dataclass fitness
+    functions are.
+    """
+
+    graph: Graph
+    fitness: FitnessFunction
+    max_growth_steps: Optional[int]
+
+
+def execute_growth_task(context: WorkerContext, task: GrowthTask) -> GrowthTaskResult:
+    """Run one greedy climb; a pure function of ``(context, task)``."""
+    growth = grow_community(
+        context.graph,
+        task.initial_members,
+        context.fitness,
+        max_steps=context.max_growth_steps,
+        seed=task.rng_seed,
+    )
+    return GrowthTaskResult(
+        index=task.index,
+        seed_node=task.seed_node,
+        members=growth.members,
+        fitness_value=growth.fitness_value,
+        steps=growth.steps,
+        converged=growth.converged,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing: the context is installed once per worker via the
+# pool initializer; tasks then reference it through a module global so
+# only the small task object crosses the pipe per call.
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: Optional[WorkerContext] = None
+
+
+def initialize_worker(context: WorkerContext) -> None:
+    """Pool initializer: install the shared context in this worker."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def execute_in_worker(task: GrowthTask) -> GrowthTaskResult:
+    """Module-level task entry point for process pools."""
+    if _WORKER_CONTEXT is None:
+        raise RuntimeError(
+            "worker context not initialised; the backend must call "
+            "initialize_worker before dispatching tasks"
+        )
+    return execute_growth_task(_WORKER_CONTEXT, task)

@@ -11,16 +11,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .._rng import SeedLike, as_random, spawn_seed
+from .._rng import SeedLike, as_random, spawn_seed, spawn_streams
 from ..baselines import cfinder, lfk
 from ..communities import Cover
 from ..core import OCAConfig, oca, postprocess
+from ..engine import make_backend
 from ..errors import AlgorithmError
 from ..graph import Graph
 
-__all__ = ["AlgorithmRun", "run_algorithm", "ALGORITHMS"]
+__all__ = ["AlgorithmRun", "run_algorithm", "run_replicates", "ALGORITHMS"]
 
 #: Canonical algorithm names, as the figures label them.
 ALGORITHMS = ("OCA", "LFK", "CFinder")
@@ -35,26 +36,33 @@ class AlgorithmRun:
     elapsed_seconds: float
 
 
-def _run_oca(graph: Graph, seed: SeedLike, quality_mode: bool) -> Cover:
+def _run_oca(
+    graph: Graph, seed: SeedLike, quality_mode: bool, engine_opts: Dict
+) -> Cover:
     # In quality mode OCA's own merge step is deferred to the shared
     # post-processing pass so all algorithms receive identical treatment.
     config = OCAConfig(
         merge_threshold=None,
         assign_orphans=False,
         seeding="uncovered",
+        **engine_opts,
     )
     return oca(graph, seed=seed, config=config).raw_cover
 
 
-def _run_lfk(graph: Graph, seed: SeedLike, quality_mode: bool) -> Cover:
+def _run_lfk(
+    graph: Graph, seed: SeedLike, quality_mode: bool, engine_opts: Dict
+) -> Cover:
     return lfk(graph, alpha=1.0, seed=seed).cover
 
 
-def _run_cfinder(graph: Graph, seed: SeedLike, quality_mode: bool) -> Cover:
+def _run_cfinder(
+    graph: Graph, seed: SeedLike, quality_mode: bool, engine_opts: Dict
+) -> Cover:
     return cfinder(graph, k=3)
 
 
-_RUNNERS: Dict[str, Callable[[Graph, SeedLike, bool], Cover]] = {
+_RUNNERS: Dict[str, Callable[[Graph, SeedLike, bool, Dict], Cover]] = {
     "OCA": _run_oca,
     "LFK": _run_lfk,
     "CFinder": _run_cfinder,
@@ -68,21 +76,28 @@ def run_algorithm(
     quality_mode: bool = True,
     merge_threshold: float = 0.4,
     assign_orphans: bool = True,
+    workers: int = 1,
+    backend: str = "auto",
+    batch_size: Optional[int] = None,
 ) -> AlgorithmRun:
     """Run one algorithm by figure label (``OCA``, ``LFK``, ``CFinder``).
 
     ``quality_mode=True`` (Figures 2/3) applies the shared post-processing
     — merge then orphan assignment — to whatever the algorithm returned.
     ``quality_mode=False`` (Figures 5/6) times the raw algorithm only.
+    ``workers``/``backend``/``batch_size`` configure the execution engine
+    for algorithms that support it (currently OCA; the baselines are
+    inherently sequential and ignore them).
     """
     try:
         runner = _RUNNERS[name]
     except KeyError:
         valid = ", ".join(ALGORITHMS)
         raise AlgorithmError(f"unknown algorithm {name!r}; expected one of {valid}")
+    engine_opts = {"workers": workers, "backend": backend, "batch_size": batch_size}
     rng = as_random(seed)
     start = time.perf_counter()
-    cover = runner(graph, spawn_seed(rng), quality_mode)
+    cover = runner(graph, spawn_seed(rng), quality_mode, engine_opts)
     elapsed = time.perf_counter() - start
     if quality_mode:
         cover = postprocess(
@@ -92,3 +107,73 @@ def run_algorithm(
             orphans=assign_orphans,
         )
     return AlgorithmRun(algorithm=name, cover=cover, elapsed_seconds=elapsed)
+
+
+# ----------------------------------------------------------------------
+# Replicate fan-out
+# ----------------------------------------------------------------------
+#
+# Quality experiments average over replicate runs that are completely
+# independent — the other embarrassingly parallel axis besides OCA's
+# inner loop.  The engine's backends fan them out; each replicate gets a
+# private stream seed via spawn_streams, so the result set is identical
+# for any worker count (and to the serial backend).  The graph ships
+# once per worker through the pool initializer (the same pattern as
+# :mod:`repro.engine.tasks`), so per-replicate payloads stay tiny.
+
+_ReplicatePayload = Tuple[str, int, bool, float, bool]
+
+_REPLICATE_GRAPH: Optional[Graph] = None
+
+
+def _initialize_replicates(graph: Graph) -> None:
+    """Pool initializer: install the shared graph in this worker."""
+    global _REPLICATE_GRAPH
+    _REPLICATE_GRAPH = graph
+
+
+def _execute_replicate(payload: _ReplicatePayload) -> AlgorithmRun:
+    """Module-level worker entry point (picklable for process pools)."""
+    name, seed, quality_mode, merge_threshold, assign_orphans = payload
+    if _REPLICATE_GRAPH is None:
+        raise AlgorithmError("replicate worker used before initialisation")
+    return run_algorithm(
+        name,
+        _REPLICATE_GRAPH,
+        seed=seed,
+        quality_mode=quality_mode,
+        merge_threshold=merge_threshold,
+        assign_orphans=assign_orphans,
+    )
+
+
+def run_replicates(
+    name: str,
+    graph: Graph,
+    replicates: int,
+    seed: SeedLike = None,
+    quality_mode: bool = True,
+    merge_threshold: float = 0.4,
+    assign_orphans: bool = True,
+    workers: int = 1,
+    backend: str = "auto",
+) -> List[AlgorithmRun]:
+    """Run ``replicates`` independent executions, fanned out over a pool.
+
+    Returns the runs in replicate order.  Replicate ``i`` uses stream
+    seed ``spawn_streams(seed, replicates)[i]``, so the same call with
+    more workers returns byte-identical covers, just sooner.
+    """
+    if replicates < 1:
+        raise AlgorithmError(f"replicates must be >= 1, got {replicates}")
+    seeds = spawn_streams(seed, replicates)
+    payloads: List[_ReplicatePayload] = [
+        (name, s, quality_mode, merge_threshold, assign_orphans) for s in seeds
+    ]
+    pool = make_backend(
+        backend, workers, initializer=_initialize_replicates, initargs=(graph,)
+    )
+    try:
+        return pool.map_ordered(_execute_replicate, payloads)
+    finally:
+        pool.close()

@@ -5,7 +5,14 @@ import random
 import numpy as np
 import pytest
 
-from repro._rng import as_numpy_rng, as_random, spawn_seed
+from repro._rng import (
+    as_master_seed,
+    as_numpy_rng,
+    as_random,
+    derive_seed,
+    spawn_seed,
+    spawn_streams,
+)
 
 
 def test_as_random_from_int_deterministic():
@@ -65,3 +72,70 @@ def test_numpy_integer_seed_accepted():
     value = np.int64(42)
     assert as_random(value).random() == as_random(42).random()
     assert as_numpy_rng(value).integers(10) == as_numpy_rng(42).integers(10)
+
+
+# ----------------------------------------------------------------------
+# Stream derivation (parallel execution engine)
+# ----------------------------------------------------------------------
+def test_as_master_seed_int_passthrough():
+    assert as_master_seed(42) == 42
+
+
+def test_as_master_seed_none_differs():
+    assert as_master_seed(None) != as_master_seed(None)
+
+
+def test_as_master_seed_does_not_consume_random():
+    rng = random.Random(5)
+    reference = random.Random(5)
+    as_master_seed(rng)
+    assert rng.random() == reference.random()
+
+
+def test_as_master_seed_random_is_state_deterministic():
+    assert as_master_seed(random.Random(5)) == as_master_seed(random.Random(5))
+    assert as_master_seed(random.Random(5)) != as_master_seed(random.Random(6))
+
+
+def test_as_master_seed_numpy_non_consuming():
+    rng = np.random.default_rng(5)
+    reference = np.random.default_rng(5)
+    as_master_seed(rng)
+    assert rng.integers(1000) == reference.integers(1000)
+
+
+def test_as_master_seed_rejects_garbage():
+    with pytest.raises(TypeError):
+        as_master_seed("seed")
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(7, 1, 2) == derive_seed(7, 1, 2)
+
+
+def test_derive_seed_sensitive_to_every_key_part():
+    baseline = derive_seed(7, 1, 2)
+    assert derive_seed(8, 1, 2) != baseline
+    assert derive_seed(7, 2, 2) != baseline
+    assert derive_seed(7, 1, 3) != baseline
+
+
+def test_derive_seed_order_sensitive():
+    assert derive_seed(7, 1, 2) != derive_seed(7, 2, 1)
+
+
+def test_spawn_streams_deterministic_and_distinct():
+    streams = spawn_streams(9, 8)
+    assert streams == spawn_streams(9, 8)
+    assert len(set(streams)) == 8
+
+
+def test_spawn_streams_prefix_stable():
+    # Asking for more streams never changes the earlier ones — a task
+    # list can grow without invalidating already-dispatched work.
+    assert spawn_streams(9, 16)[:8] == spawn_streams(9, 8)
+
+
+def test_spawn_streams_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn_streams(9, -1)
