@@ -1,0 +1,252 @@
+"""Dict vs CSR representation on the single-worker detect path.
+
+Times ``oca`` on LFR graphs of growing size under both graph
+representations, with the spectral ``c`` resolved once and shared (the
+pattern every multi-run workload uses, and what isolates the greedy
+engine loop that the representation actually changes; the spectral cost
+is identical for both and reported separately).  Verifies the covers
+are byte-identical — the representation contract — and measures the
+worker-shipping cost: pickled payload size and (de)serialisation time
+for the dict graph vs the compiled arrays.
+
+Also runnable standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_csr.py              # full sweep
+    PYTHONPATH=src python benchmarks/bench_csr.py --smoke      # CI-sized
+
+The full sweep (n in {2000, 6000, 20000}) writes machine-readable
+results to ``BENCH_csr.json`` at the repository root; ``--smoke`` runs
+one small size and writes nothing, so CI can exercise the script
+without touching tracked files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro import oca
+from repro.core.vector_space import admissible_c
+from repro.generators import LFRParams, lfr_graph
+from repro.graph import compile_graph
+
+#: The sizes of the full sweep (ISSUE 2's benchmark trajectory seed).
+FULL_SIZES = (2000, 6000, 20000)
+SMOKE_SIZES = (300,)
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_csr.json"
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_graph(n: int, seed: int):
+    """The bench_parallel LFR family: dense communities, heavy tasks."""
+    params = LFRParams(
+        n=n,
+        mu=0.3,
+        average_degree=min(40.0, max(8.0, n / 25)),
+        max_degree=min(100, max(20, n // 10)),
+        min_community=min(60, max(10, n // 20)),
+        max_community=min(120, max(20, n // 10)),
+    )
+    return lfr_graph(params, seed=seed).graph
+
+
+@dataclass
+class SizeResult:
+    """Every measurement for one graph size."""
+
+    n: int
+    m: int
+    spectral_seconds: float
+    compile_seconds: float
+    dict_seconds: float
+    csr_seconds: float
+    speedup: float
+    communities: int
+    runs: int
+    covers_identical: bool
+    dict_payload_bytes: int
+    csr_payload_bytes: int
+    dict_roundtrip_seconds: float
+    csr_roundtrip_seconds: float
+
+
+def _pickle_roundtrip(obj) -> "tuple[int, float]":
+    """Payload size and dumps+loads wall-clock (the worker-shipping cost)."""
+    start = time.perf_counter()
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    pickle.loads(blob)
+    return len(blob), time.perf_counter() - start
+
+
+def measure_size(n: int, seed: int, repeats: int, echo=print) -> SizeResult:
+    """Run the dict/csr comparison for one graph size."""
+    graph = build_graph(n, seed)
+    m = graph.number_of_edges()
+    echo(f"-- LFR n={graph.number_of_nodes()}, m={m}")
+
+    start = time.perf_counter()
+    compiled = compile_graph(graph)
+    compile_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    c = admissible_c(graph, seed=seed)
+    spectral_seconds = time.perf_counter() - start
+    echo(
+        f"   compile {compile_seconds:.3f}s "
+        f"({compiled.nbytes()} array bytes); "
+        f"spectral c={c:.4f} in {spectral_seconds:.3f}s (shared)"
+    )
+
+    timings = {"dict": [], "csr": []}
+    results = {}
+    for _ in range(repeats):
+        for representation in ("dict", "csr"):
+            start = time.perf_counter()
+            result = oca(graph, seed=seed, c=c, representation=representation)
+            timings[representation].append(time.perf_counter() - start)
+            results[representation] = result
+    dict_seconds = min(timings["dict"])
+    csr_seconds = min(timings["csr"])
+    identical = (
+        results["dict"].cover == results["csr"].cover
+        and results["dict"].raw_cover == results["csr"].raw_cover
+    )
+    speedup = dict_seconds / csr_seconds if csr_seconds else float("inf")
+    echo(
+        f"   dict {dict_seconds:.3f}s | csr {csr_seconds:.3f}s "
+        f"| speedup x{speedup:.2f} "
+        f"| {len(results['csr'].cover)} communities, "
+        f"{results['csr'].runs} runs | identical covers: {identical}"
+    )
+
+    dict_bytes, dict_roundtrip = _pickle_roundtrip(graph)
+    csr_bytes, csr_roundtrip = _pickle_roundtrip(compiled)
+    echo(
+        f"   shipping: dict {dict_bytes}B / {dict_roundtrip * 1000:.1f}ms "
+        f"vs csr {csr_bytes}B / {csr_roundtrip * 1000:.1f}ms roundtrip"
+    )
+    if not identical:
+        raise AssertionError(
+            f"representation contract violated at n={n}: covers differ"
+        )
+    return SizeResult(
+        n=graph.number_of_nodes(),
+        m=m,
+        spectral_seconds=spectral_seconds,
+        compile_seconds=compile_seconds,
+        dict_seconds=dict_seconds,
+        csr_seconds=csr_seconds,
+        speedup=speedup,
+        communities=len(results["csr"].cover),
+        runs=results["csr"].runs,
+        covers_identical=identical,
+        dict_payload_bytes=dict_bytes,
+        csr_payload_bytes=csr_bytes,
+        dict_roundtrip_seconds=dict_roundtrip,
+        csr_roundtrip_seconds=csr_roundtrip,
+    )
+
+
+def run_bench(
+    sizes=FULL_SIZES, seed: int = 2, repeats: int = 2, echo=print
+) -> List[SizeResult]:
+    """Measure every size; returns the per-size results."""
+    echo(
+        f"csr-vs-dict detect-path bench: sizes {list(sizes)}, "
+        f"{_available_cpus()} CPU(s), single worker"
+    )
+    return [measure_size(n, seed=seed, repeats=repeats, echo=echo) for n in sizes]
+
+
+def write_json(results: List[SizeResult], path: Path = _JSON_PATH) -> None:
+    """Emit the machine-readable benchmark record."""
+    payload = {
+        "benchmark": "bench_csr",
+        "description": (
+            "OCA single-worker detect path, dict vs csr representation, "
+            "spectral c resolved once and shared"
+        ),
+        "family": "lfr",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": _available_cpus(),
+        "unix_time": int(time.time()),
+        "results": [asdict(result) for result in results],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark wrapper
+# ----------------------------------------------------------------------
+def test_csr_representation_speedup(benchmark):
+    from conftest import run_once
+
+    lines: List[str] = []
+    results = run_once(
+        benchmark, run_bench, sizes=(6000,), echo=lines.append
+    )
+    print()
+    for line in lines:
+        print(line)
+    assert results[0].covers_identical
+    assert results[0].speedup >= 1.5
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small size, no JSON output (CI smoke check)",
+    )
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timed runs per representation"
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="override the size sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.sizes:
+        sizes = tuple(args.sizes)
+    else:
+        sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    results = run_bench(sizes=sizes, seed=args.seed, repeats=args.repeats)
+    if not args.smoke:
+        write_json(results)
+        print(f"wrote {_JSON_PATH}")
+    slow = [r for r in results if r.n >= 6000 and r.speedup < 1.5]
+    if slow:
+        print(
+            "WARNING: csr speedup below 1.5x at "
+            + ", ".join(f"n={r.n} (x{r.speedup:.2f})" for r in slow),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

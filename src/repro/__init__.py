@@ -15,9 +15,11 @@ The package implements:
   (:mod:`repro.generators`);
 * the **quality measures** ``rho`` (Eq. V.1) and ``Theta`` (Eq. V.2)
   plus standard metrics (:mod:`repro.communities`);
-* a self-contained **graph substrate** (:mod:`repro.graph`) and the
-  **experiment harness** regenerating every table and figure
-  (:mod:`repro.experiments`);
+* a self-contained **graph substrate** (:mod:`repro.graph`) — a mutable
+  label-keyed :class:`~repro.graph.Graph` plus an immutable compiled CSR
+  form (:func:`~repro.graph.compile_graph`) on which the greedy hot path
+  runs in vectorised integer-id space — and the **experiment harness**
+  regenerating every table and figure (:mod:`repro.experiments`);
 * a pluggable **execution engine** (:mod:`repro.engine`) that fans the
   repeated local searches out over serial/thread/process worker pools
   with deterministic per-task RNG streams — ``oca(g, seed=7, workers=8,
@@ -49,7 +51,7 @@ from .errors import (
     ConvergenceError,
     ConfigurationError,
 )
-from .graph import Graph
+from .graph import CompiledGraph, Graph, compile_graph
 from .communities import Community, Cover, Partition, rho, theta
 from .core import OCA, OCAConfig, OCAResult, oca, admissible_c
 from .engine import EngineStats, ExecutionEngine, make_backend
@@ -71,6 +73,8 @@ __all__ = [
     "ConvergenceError",
     "ConfigurationError",
     "Graph",
+    "CompiledGraph",
+    "compile_graph",
     "Community",
     "Cover",
     "Partition",

@@ -77,15 +77,18 @@ def natural_community(
     node: Node,
     alpha: float = 1.0,
     max_steps: Optional[int] = None,
+    rank: Optional[Dict[Node, int]] = None,
 ) -> Set[Node]:
     """The natural community of ``node`` under the LFK fitness.
 
     Deterministic: ties in the argmax resolve to the first-enumerated
     candidate.  ``max_steps`` bounds the total accepted moves (default
-    ``4n + 16``).
+    ``4n + 16``).  ``rank`` is the optional shared tie-break map for the
+    community state (LFK's own scans never consult it, but passing the
+    covering loop's copy avoids an O(n) rebuild per natural community).
     """
     fitness = LFKFitness(alpha=alpha)
-    state = CommunityState(graph, [node])
+    state = CommunityState(graph, [node], rank=rank)
     if max_steps is None:
         max_steps = 4 * graph.number_of_nodes() + 16
     steps = 0
@@ -143,6 +146,7 @@ def lfk(
     start = time.perf_counter()
     rng = as_random(seed)
     order: List[Node] = list(graph.nodes())
+    rank = {node: i for i, node in enumerate(order)}
     rng.shuffle(order)
     covered: Set[Node] = set()
     communities: List[Set[Node]] = []
@@ -151,7 +155,8 @@ def lfk(
         if node in covered:
             continue
         community = natural_community(
-            graph, node, alpha=alpha, max_steps=max_steps_per_community
+            graph, node, alpha=alpha, max_steps=max_steps_per_community,
+            rank=rank,
         )
         computed += 1
         if node not in community:

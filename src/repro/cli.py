@@ -97,6 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
             "speculative parallelism"
         ),
     )
+    detect.add_argument(
+        "--representation",
+        choices=["auto", "dict", "csr"],
+        default="auto",
+        help=(
+            "graph representation for the greedy hot path: csr (compiled "
+            "int32 arrays, the fast integer-id kernel), dict (the "
+            "label-keyed adjacency map), or auto (csr whenever the fitness "
+            "allows it); the cover is identical either way"
+        ),
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table or figure"
@@ -149,6 +160,7 @@ def _command_detect(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
         batch_size=args.batch_size,
+        representation=args.representation,
     )
     if args.output:
         write_cover(run.cover, args.output)

@@ -31,7 +31,7 @@ from .fitness import (
     directed_laplacian_value,
     phi_value,
 )
-from .state import CommunityState
+from .state import ArrayCommunityState, CommunityState
 from .growth import GrowthResult, grow_community
 from .seeding import (
     SeedingStrategy,
@@ -69,6 +69,7 @@ __all__ = [
     "LFKFitness",
     "directed_laplacian_value",
     "phi_value",
+    "ArrayCommunityState",
     "CommunityState",
     "GrowthResult",
     "grow_community",

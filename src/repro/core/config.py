@@ -68,6 +68,14 @@ class OCAConfig:
         the engine default).  Unlike ``workers``, this knob *is* part of
         the result's identity: seeding within a batch sees the covered
         set as of the batch start.
+    representation:
+        Graph representation for the greedy hot path: ``dict`` (the
+        label-keyed adjacency-set substrate), ``csr`` (the compiled
+        integer-id array form, compiled once per graph and shipped to
+        workers as raw buffers), or ``auto`` (default: ``csr`` whenever
+        the fitness declares ``monotone_in_internal_edges``, else
+        ``dict``).  Covers are bit-identical across representations —
+        like ``workers``, this knob only changes speed, never results.
     fitness:
         Optional custom objective for the greedy search; ``None``
         (default, and the paper's algorithm) uses the directed Laplacian
@@ -89,6 +97,7 @@ class OCAConfig:
     workers: int = 1
     backend: str = "auto"
     batch_size: Optional[int] = None
+    representation: str = "auto"
     fitness: Optional[FitnessFunction] = None
 
     def __post_init__(self) -> None:
@@ -121,6 +130,11 @@ class OCAConfig:
         if self.batch_size is not None and self.batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.representation not in ("auto", "dict", "csr"):
+            raise ConfigurationError(
+                "representation must be one of 'auto', 'dict', 'csr'; "
+                f"got {self.representation!r}"
             )
         if self.halting is None:
             self.halting = StagnationHalting(patience=20)

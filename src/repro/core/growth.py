@@ -23,17 +23,23 @@ Notes on fidelity to the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple, Union
 
 from .._rng import SeedLike, as_random
 from ..errors import AlgorithmError
 from ..graph import Graph
+from ..graph.csr import CompiledGraph
 from .fitness import FitnessFunction
-from .state import CommunityState
+from .state import ArrayCommunityState, CommunityState
 
 __all__ = ["GrowthResult", "grow_community"]
 
 Node = Hashable
+
+#: Either community-state implementation; the greedy loop is written
+#: against their shared probe/mutation surface and cannot tell them
+#: apart (by design — that is what makes representations bit-identical).
+_State = Union[CommunityState, ArrayCommunityState]
 
 #: Strictness margin for "improvement": floating-point noise below this
 #: threshold does not count, which keeps the search from ping-ponging on
@@ -68,14 +74,15 @@ class GrowthResult:
 
 
 def _best_addition(
-    state: CommunityState, fitness: FitnessFunction
+    state: _State, fitness: FitnessFunction, monotone: bool
 ) -> Tuple[Optional[Node], float]:
     """The frontier node whose addition gives the highest fitness.
 
-    Fitness functions monotone in ``E_in`` use the state's bucket queue
-    (O(1)); anything else falls back to a full frontier scan.
+    Fitness functions monotone in ``E_in`` use the state's best-node
+    probe (bucket queue / argmax); anything else falls back to a full
+    frontier scan.
     """
-    if getattr(fitness, "monotone_in_internal_edges", False):
+    if monotone:
         node = state.best_frontier_node()
         if node is None:
             return None, float("-inf")
@@ -91,7 +98,7 @@ def _best_addition(
 
 
 def _best_removal(
-    state: CommunityState, fitness: FitnessFunction
+    state: _State, fitness: FitnessFunction, monotone: bool
 ) -> Tuple[Optional[Node], float]:
     """The member whose removal gives the highest fitness.
 
@@ -101,7 +108,7 @@ def _best_removal(
     best_value = float("-inf")
     if state.size <= 1:
         return None, best_value
-    if getattr(fitness, "monotone_in_internal_edges", False):
+    if monotone:
         node = state.weakest_member()
         if node is None:
             return None, best_value
@@ -116,19 +123,26 @@ def _best_removal(
 
 
 def grow_community(
-    graph: Graph,
+    graph: Union[Graph, CompiledGraph],
     initial_members: Iterable[Node],
     fitness: FitnessFunction,
     max_steps: Optional[int] = None,
     allow_removal: bool = True,
     seed: SeedLike = None,
+    rank: Optional[Dict[Node, int]] = None,
 ) -> GrowthResult:
     """Run the greedy add/remove search to a local fitness maximum.
 
     Parameters
     ----------
     graph:
-        Host graph.
+        Host graph.  A label-keyed :class:`~repro.graph.Graph` (or any
+        read-only view) runs on :class:`~repro.core.state.CommunityState`;
+        a :class:`~repro.graph.csr.CompiledGraph` runs the same loop on
+        the vectorised :class:`~repro.core.state.ArrayCommunityState`,
+        with ``initial_members`` (and the returned ``members``) being
+        dense integer ids.  Both produce the identical community for
+        corresponding inputs.
     initial_members:
         Non-empty starting set (the "random neighbourhood of the seed").
     fitness:
@@ -142,6 +156,11 @@ def grow_community(
         Unused by the deterministic argmax, but accepted so call sites can
         treat all stochastic components uniformly; reserved for future
         stochastic tie-breaking.
+    rank:
+        Optional precomputed node -> insertion-rank map for the
+        label-keyed path's tie-breaking (derived from the graph when
+        omitted); ignored on the compiled path, where ids are their own
+        ranks.
 
     Returns
     -------
@@ -151,18 +170,22 @@ def grow_community(
     members = set(initial_members)
     if not members:
         raise AlgorithmError("greedy growth needs a non-empty initial set")
-    state = CommunityState(graph, members)
+    if isinstance(graph, CompiledGraph):
+        state: _State = ArrayCommunityState(graph, members)
+    else:
+        state = CommunityState(graph, members, rank=rank)
     if max_steps is None:
         max_steps = 4 * graph.number_of_nodes() + 16
     current = state.value(fitness)
+    monotone = bool(getattr(fitness, "monotone_in_internal_edges", False))
     additions = 0
     removals = 0
     converged = False
     steps = 0
     while steps < max_steps:
-        add_node, add_value = _best_addition(state, fitness)
+        add_node, add_value = _best_addition(state, fitness, monotone)
         if allow_removal:
-            remove_node, remove_value = _best_removal(state, fitness)
+            remove_node, remove_value = _best_removal(state, fitness, monotone)
         else:
             remove_node, remove_value = None, float("-inf")
         best_value = max(add_value, remove_value)

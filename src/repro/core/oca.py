@@ -24,6 +24,13 @@ returns the exact cover that ``workers=1`` would.  (``batch_size``
 controls how many searches are in flight at once; the default of 1 is
 the paper's exact sequential semantics, so raising it is what actually
 enables parallelism.)
+
+The greedy hot path itself runs on one of two graph representations
+(``OCAConfig.representation``): the label-keyed dict substrate, or the
+compiled int32 CSR arrays (:mod:`repro.graph.csr`) on which the kernel
+works in vectorised integer-id space — the default ``auto`` picks CSR
+whenever the fitness allows it.  Like the worker count, the
+representation never changes the cover, only the wall-clock time.
 """
 
 from __future__ import annotations
@@ -36,8 +43,8 @@ from .._rng import SeedLike, as_random
 from ..communities import Cover
 from ..engine.engine import ExecutionEngine
 from ..engine.progress import EngineStats
-from ..errors import AlgorithmError
-from ..graph import Graph
+from ..errors import AlgorithmError, ConfigurationError
+from ..graph import Graph, compile_graph
 from .config import OCAConfig
 from .fitness import DirectedLaplacianFitness, FitnessFunction
 from .postprocess import postprocess
@@ -130,6 +137,27 @@ class OCA:
             return make_seeding(seeding)
         return seeding
 
+    def _resolve_representation(self, fitness: FitnessFunction) -> str:
+        """Pick the hot-path graph representation for this run.
+
+        The CSR kernel's O(1) argmax/argmin probes are only exact for
+        fitness functions monotone in ``E_in`` at fixed size, so ``auto``
+        falls back to the dict path for anything else (the LFK ablation),
+        and forcing ``csr`` there is a configuration error rather than a
+        silent wrong answer.
+        """
+        representation = self.config.representation
+        monotone = getattr(fitness, "monotone_in_internal_edges", False)
+        if representation == "auto":
+            return "csr" if monotone else "dict"
+        if representation == "csr" and not monotone:
+            raise ConfigurationError(
+                "representation='csr' requires a fitness that is monotone in "
+                "internal edges (monotone_in_internal_edges=True); "
+                f"got {fitness!r} — use representation='dict' or 'auto'"
+            )
+        return representation
+
     # ------------------------------------------------------------------
     def run(self, graph: Graph, seed: SeedLike = None) -> OCAResult:
         """Execute OCA on ``graph``; fully deterministic given ``seed``.
@@ -160,6 +188,8 @@ class OCA:
         else:
             fitness = DirectedLaplacianFitness(c)
         seeding = self._resolve_seeding()
+        representation = self._resolve_representation(fitness)
+        compiled = compile_graph(graph) if representation == "csr" else None
 
         engine = ExecutionEngine(
             backend=self.config.backend,
@@ -175,6 +205,7 @@ class OCA:
             seed_fraction=self.config.seed_fraction,
             max_growth_steps=self.config.max_growth_steps,
             min_community_size=self.config.min_community_size,
+            compiled=compiled,
         )
 
         raw_cover = Cover(outcome.found)

@@ -26,17 +26,36 @@ maximum member-link count, and the best removal any member with the
 minimum internal degree, so one greedy step costs O(deg) amortised
 instead of O(|frontier| + |S|).  This mirrors the "ad hoc C++ structures"
 performance engineering behind the paper's Figure 5/6 numbers.
+
+Two interchangeable implementations share that contract:
+
+:class:`CommunityState`
+    Label-keyed, dict-and-set backed; works on any
+    :class:`~repro.graph.csr.GraphBackend` with hashable node labels.
+:class:`ArrayCommunityState`
+    Dense-id keyed, numpy backed; works on a
+    :class:`~repro.graph.csr.CompiledGraph` and replaces the per-
+    neighbour counter updates with vectorised fancy-indexing — the
+    integer-id hot path behind the CSR representation's speedup.
+
+Ties among equally-good moves are broken by **insertion rank** (the
+node's dense id) in both implementations, so the greedy trajectory —
+and therefore every OCA cover — is bit-identical across representations
+and independent of Python's set iteration order.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, Hashable, Iterable, Optional, Set
+from typing import AbstractSet, Dict, Hashable, Iterable, List, Optional, Set
+
+import numpy as np
 
 from ..errors import AlgorithmError, NodeNotFoundError
 from ..graph import Graph
+from ..graph.csr import CompiledGraph
 from .fitness import FitnessFunction
 
-__all__ = ["CommunityState", "BucketQueue"]
+__all__ = ["CommunityState", "ArrayCommunityState", "BucketQueue"]
 
 Node = Hashable
 
@@ -47,15 +66,28 @@ class BucketQueue:
     Tracks either the maximum or minimum occupied key; the cached extreme
     is repaired lazily after deletions (amortised O(1) because keys only
     move by one per graph-edge update).
+
+    ``rank`` (node -> total-order position) makes :meth:`peek`
+    deterministic: among nodes sharing the extreme key, the one with the
+    lowest rank is returned.  Without a rank map, peek returns an
+    arbitrary bucket member (set iteration order), the pre-CSR legacy
+    behaviour.
+
+    Ranked peeks scan the extreme bucket (O(bucket)); peeks happen
+    twice per greedy step versus ~deg insert/adjust events, and
+    maintaining a per-bucket minimum instead measured ~35% *slower*
+    end-to-end on LFR n=6000/20000 (the bookkeeping rides every one of
+    the far more frequent bucket updates), so the scan stays.
     """
 
-    __slots__ = ("_buckets", "_keys", "_extreme", "_want_max")
+    __slots__ = ("_buckets", "_keys", "_extreme", "_want_max", "_rank")
 
-    def __init__(self, want_max: bool) -> None:
+    def __init__(self, want_max: bool, rank: Optional[Dict[Node, int]] = None) -> None:
         self._buckets: Dict[int, Set[Node]] = {}
         self._keys: Dict[Node, int] = {}
         self._extreme: Optional[int] = None
         self._want_max = want_max
+        self._rank = rank
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -104,11 +136,17 @@ class BucketQueue:
         self.insert(node, key + delta)
 
     def peek(self) -> Optional[Node]:
-        """A node with the extreme key, or ``None`` when empty."""
+        """The extreme-key node of lowest rank, or ``None`` when empty.
+
+        With no rank map, an arbitrary extreme-key node is returned.
+        """
         if not self._keys:
             return None
         extreme = self._repair_extreme()
-        return next(iter(self._buckets[extreme]))
+        bucket = self._buckets[extreme]
+        if self._rank is None or len(bucket) == 1:
+            return next(iter(bucket))
+        return min(bucket, key=self._rank.__getitem__)
 
     def peek_key(self) -> Optional[int]:
         """The extreme key, or ``None`` when empty."""
@@ -134,21 +172,34 @@ class CommunityState:
         The host graph (not mutated).
     members:
         Initial member nodes; must exist in ``graph``.
+    rank:
+        Node -> insertion-rank map used for deterministic tie-breaking
+        in :meth:`best_frontier_node` / :meth:`weakest_member`.  Built
+        from the graph's node order when omitted (O(n)); hot paths that
+        create one state per task should pass a shared precomputed map
+        (the execution engine does).
     """
 
     __slots__ = ("graph", "_members", "_internal_edges", "_volume",
                  "_internal_degree", "_frontier",
                  "_frontier_queue", "_member_queue")
 
-    def __init__(self, graph: Graph, members: Iterable[Node] = ()) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        members: Iterable[Node] = (),
+        rank: Optional[Dict[Node, int]] = None,
+    ) -> None:
         self.graph = graph
+        if rank is None:
+            rank = {node: i for i, node in enumerate(graph.nodes())}
         self._members: Set[Node] = set()
         self._internal_edges = 0
         self._volume = 0
         self._internal_degree: Dict[Node, int] = {}
         self._frontier: Dict[Node, int] = {}
-        self._frontier_queue = BucketQueue(want_max=True)
-        self._member_queue = BucketQueue(want_max=False)
+        self._frontier_queue = BucketQueue(want_max=True, rank=rank)
+        self._member_queue = BucketQueue(want_max=False, rank=rank)
         for node in members:
             if node not in self._members:
                 self.add(node)
@@ -189,17 +240,20 @@ class CommunityState:
             raise AlgorithmError(f"{node!r} is not a member") from None
 
     def best_frontier_node(self) -> Optional[Node]:
-        """A frontier node with the most member links (None when empty).
+        """The frontier node with the most member links (None when empty).
 
         For any fitness monotone in ``E_in`` at fixed size — the directed
-        Laplacian in particular — this is the optimal addition.
+        Laplacian in particular — this is the optimal addition.  Ties
+        break toward the lowest insertion rank, matching
+        :meth:`ArrayCommunityState.best_frontier_node` exactly.
         """
         return self._frontier_queue.peek()
 
     def weakest_member(self) -> Optional[Node]:
-        """A member with the fewest member links (None when empty).
+        """The member with the fewest member links (None when empty).
 
-        For monotone fitness this is the optimal removal.
+        For monotone fitness this is the optimal removal.  Ties break
+        toward the lowest insertion rank.
         """
         return self._member_queue.peek()
 
@@ -326,3 +380,241 @@ class CommunityState:
         for node, count in expected_frontier.items():
             if self._frontier_queue.key_of(node) != count:
                 raise AlgorithmError(f"frontier queue drift at {node!r}")
+
+
+class ArrayCommunityState:
+    """The integer-id counterpart of :class:`CommunityState`.
+
+    Operates on a :class:`~repro.graph.csr.CompiledGraph`: members are
+    dense ids, and all counters live in flat numpy arrays indexed by id,
+    so one add/remove updates an entire neighbourhood with **two**
+    fancy-indexing operations instead of ``O(deg)`` dict transactions.
+
+    Internals (all length ``n``):
+
+    ``_member``
+        Boolean membership mask.
+    ``_frontier_score``
+        For a *non-member*, exactly its member-link count (0 when not on
+        the frontier); for a member, a value below ``-OFFSET + n`` that
+        can never win an argmax.  ``argmax`` over the whole array is the
+        best addition — numpy returns the *first* (lowest-id) maximum,
+        the same tie-break as the rank-aware :class:`BucketQueue`.
+    ``_member_score``
+        For a *member*, exactly its internal degree; for a non-member, a
+        value above ``OFFSET - n`` that can never win an argmin.
+        ``argmin`` is the best removal, lowest id first.
+
+    The trick that gets add/remove down to two vector ops is *bounded
+    drift*: a mutation bumps **both** score arrays for the whole
+    neighbourhood unconditionally, without splitting it by membership.
+    The half of each array that is semantically live stays exact (the
+    bump is precisely its +-1 counter update); the other half drifts
+    away from its ``+-OFFSET`` parking value by at most ``deg`` per
+    node, which keeps it on the losing side of every argmax/argmin
+    (``OFFSET`` is ``2**30`` and :func:`~repro.graph.csr.compile_graph`
+    rejects degrees ``>= 2**29``, so parked values cannot cross zero or
+    overflow).  Parked entries are re-initialised exactly when a node
+    changes membership, so drift never becomes visible.
+
+    The argmax/argmin probes are O(n) single passes in C; for OCA's
+    community sizes that is far cheaper than the dict path's per-event
+    bookkeeping, and the per-task arrays are a few ``n``-byte buffers.
+    """
+
+    #: Parking distance for the semantically-dead half of each score
+    #: array.  Drift is bounded by the maximum degree, which int32
+    #: compilation bounds by ``2**31 / 4`` endpoints; 2**30 keeps parked
+    #: scores sign-stable and overflow-free.
+    OFFSET = 2**30
+
+    __slots__ = ("graph", "_indptr", "_indices", "_degrees", "_member",
+                 "_frontier_score", "_member_score",
+                 "_size", "_internal_edges", "_volume")
+
+    def __init__(
+        self, graph: CompiledGraph, members: Iterable[int] = ()
+    ) -> None:
+        self.graph = graph
+        n = graph.number_of_nodes()
+        self._indptr = graph.indptr
+        self._indices = graph.indices
+        self._degrees = graph.degrees
+        self._member = np.zeros(n, dtype=bool)
+        self._frontier_score = np.zeros(n, dtype=np.int32)
+        self._member_score = np.full(n, self.OFFSET, dtype=np.int32)
+        self._size = 0
+        self._internal_edges = 0
+        self._volume = 0
+        for node in sorted(set(int(node) for node in members)):
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # Read access (mirrors CommunityState)
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[int]:
+        """The current member ids, ascending."""
+        return [int(node) for node in np.flatnonzero(self._member)]
+
+    @property
+    def size(self) -> int:
+        """``|S|``."""
+        return self._size
+
+    @property
+    def internal_edges(self) -> int:
+        """``E_in(S)`` — edges with both endpoints inside."""
+        return self._internal_edges
+
+    @property
+    def volume(self) -> int:
+        """Sum of full-graph degrees over the members."""
+        return self._volume
+
+    @property
+    def frontier(self) -> Dict[int, int]:
+        """Non-members adjacent to the community -> #member neighbours.
+
+        Materialised on demand (ascending id order); the hot path never
+        calls this — it exists for the non-monotone fitness fallback and
+        for tests.
+        """
+        scores = np.where(self._member, np.int32(0), self._frontier_score)
+        ids = np.flatnonzero(scores > 0)
+        return {int(node): int(scores[node]) for node in ids}
+
+    def internal_degree_of(self, node: int) -> int:
+        """How many member neighbours a *member* id has."""
+        if not (0 <= node < len(self._member)) or not self._member[node]:
+            raise AlgorithmError(f"{node!r} is not a member")
+        return int(self._member_score[node])
+
+    def best_frontier_node(self) -> Optional[int]:
+        """The lowest-id frontier node with the most member links."""
+        if self._size == 0 or self._size == len(self._member):
+            return None
+        node = int(self._frontier_score.argmax())
+        if self._frontier_score[node] <= 0:
+            return None
+        return node
+
+    def weakest_member(self) -> Optional[int]:
+        """The lowest-id member with the fewest member links."""
+        if self._size == 0:
+            return None
+        return int(self._member_score.argmin())
+
+    def __contains__(self, node: object) -> bool:
+        return (
+            isinstance(node, (int, np.integer))
+            and 0 <= node < len(self._member)
+            and bool(self._member[node])
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, node: int) -> None:
+        """Add id ``node`` to the community (vectorised, O(deg))."""
+        if not 0 <= node < len(self._member):
+            raise NodeNotFoundError(node)
+        if self._member[node]:
+            raise AlgorithmError(f"{node!r} is already a member")
+        gained = int(self._frontier_score[node])
+        self._member[node] = True
+        self._frontier_score[node] = -self.OFFSET
+        self._member_score[node] = gained
+        self._size += 1
+        self._internal_edges += gained
+        self._volume += int(self._degrees[node])
+        neighbours = self._indices[self._indptr[node] : self._indptr[node + 1]]
+        self._frontier_score[neighbours] += 1
+        self._member_score[neighbours] += 1
+
+    def remove(self, node: int) -> None:
+        """Remove member id ``node`` (vectorised, O(deg))."""
+        if not (0 <= node < len(self._member)) or not self._member[node]:
+            raise AlgorithmError(f"{node!r} is not a member")
+        lost = int(self._member_score[node])
+        self._member[node] = False
+        self._frontier_score[node] = lost
+        self._member_score[node] = self.OFFSET
+        self._size -= 1
+        self._internal_edges -= lost
+        self._volume -= int(self._degrees[node])
+        neighbours = self._indices[self._indptr[node] : self._indptr[node + 1]]
+        self._frontier_score[neighbours] -= 1
+        self._member_score[neighbours] -= 1
+
+    # ------------------------------------------------------------------
+    # Fitness probes (identical arithmetic to CommunityState, so the
+    # float results — and hence every greedy comparison — match bitwise)
+    # ------------------------------------------------------------------
+    def value(self, fitness: FitnessFunction) -> float:
+        """The fitness of the current community."""
+        return fitness.value(self._size, self._internal_edges, self._volume)
+
+    def value_if_added(self, node: int, fitness: FitnessFunction) -> float:
+        """The fitness after hypothetically adding frontier id ``node``."""
+        gained = int(self._frontier_score[node])
+        if gained < 0:
+            raise AlgorithmError(f"{node!r} is already a member")
+        return fitness.value(
+            self._size + 1,
+            self._internal_edges + gained,
+            self._volume + int(self._degrees[node]),
+        )
+
+    def value_if_removed(self, node: int, fitness: FitnessFunction) -> float:
+        """The fitness after hypothetically removing member id ``node``."""
+        lost = int(self._member_score[node])
+        if lost >= self.OFFSET // 2:
+            raise AlgorithmError(f"{node!r} is not a member")
+        return fitness.value(
+            self._size - 1,
+            self._internal_edges - lost,
+            self._volume - int(self._degrees[node]),
+        )
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Recompute every aggregate from the arrays and compare (test hook).
+
+        Checks the live half of each score array exactly and the parked
+        half against its drift bounds.
+        """
+        member_ids = np.flatnonzero(self._member)
+        if len(member_ids) != self._size:
+            raise AlgorithmError(
+                f"size drift: tracked {self._size}, actual {len(member_ids)}"
+            )
+        expected_volume = int(self._degrees[member_ids].sum())
+        if expected_volume != self._volume:
+            raise AlgorithmError(
+                f"volume drift: tracked {self._volume}, actual {expected_volume}"
+            )
+        link = np.zeros(len(self._member), dtype=np.int32)
+        for node in member_ids:
+            link[self.graph.neighbors(int(node))] += 1
+        expected_edges = int(link[member_ids].sum()) // 2
+        if expected_edges != self._internal_edges:
+            raise AlgorithmError(
+                f"internal edge drift: tracked {self._internal_edges}, "
+                f"actual {expected_edges}"
+            )
+        outside = ~self._member
+        if not np.array_equal(
+            self._frontier_score[outside], link[outside]
+        ):
+            raise AlgorithmError("frontier score drift on non-members")
+        if not np.array_equal(self._member_score[member_ids], link[member_ids]):
+            raise AlgorithmError("member score drift on members")
+        half = self.OFFSET // 2
+        if member_ids.size and int(self._frontier_score[member_ids].max()) > -half:
+            raise AlgorithmError("parked frontier score crossed its bound")
+        if outside.any() and int(self._member_score[outside].min()) < half:
+            raise AlgorithmError("parked member score crossed its bound")

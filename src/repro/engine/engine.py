@@ -30,6 +30,7 @@ from ..core.fitness import FitnessFunction
 from ..core.halting import HaltingCriterion, RunStatistics
 from ..core.seeding import SeedingStrategy
 from ..graph import Graph
+from ..graph.csr import CompiledGraph
 from .backends import make_backend, resolve_backend_name
 from .progress import BatchRecord, EngineStats, ProgressCallback
 from .reducer import CoverReducer
@@ -107,6 +108,7 @@ class ExecutionEngine:
         seed_fraction: float = 0.6,
         max_growth_steps: Optional[int] = None,
         min_community_size: int = 1,
+        compiled: Optional[CompiledGraph] = None,
     ) -> EngineOutcome:
         """Execute the OCA outer loop to completion.
 
@@ -116,6 +118,14 @@ class ExecutionEngine:
         so two calls with the same arguments (including ``batch_size``)
         return identical outcomes regardless of ``workers`` and
         ``backend``.
+
+        ``compiled`` switches the growth kernel to the CSR integer-id
+        hot path: workers receive the compiled arrays (once, via the
+        pool initializer) instead of the dict graph, and translate task
+        node sets between labels and dense ids at their boundary.  The
+        scheduler, reducer, and this driver stay entirely in label
+        space, and the outcome is bit-identical either way — the
+        representation, like the backend, only changes wall-clock time.
         """
         # Fingerprint first — as_master_seed is non-consuming, so the
         # shared generator's draw sequence is untouched.
@@ -135,11 +145,22 @@ class ExecutionEngine:
             halting=halting,
             skip_stale_seeds=getattr(seeding, "covered_aware", False),
         )
-        context = WorkerContext(
-            graph=graph,
-            fitness=fitness,
-            max_growth_steps=max_growth_steps,
-        )
+        if compiled is not None:
+            # csr: ship only the immutable arrays; ids rank themselves.
+            context = WorkerContext(
+                fitness=fitness,
+                max_growth_steps=max_growth_steps,
+                compiled=compiled,
+            )
+        else:
+            # dict: ship the graph plus one shared tie-break rank map so
+            # workers do not pay O(n) per task to rebuild it.
+            context = WorkerContext(
+                fitness=fitness,
+                max_growth_steps=max_growth_steps,
+                graph=graph,
+                rank={node: i for i, node in enumerate(graph.nodes())},
+            )
         backend = make_backend(
             self.backend,
             self.workers,
@@ -150,6 +171,7 @@ class ExecutionEngine:
             backend=resolve_backend_name(self.backend, backend.workers),
             workers=backend.workers,
             batch_size=self.batch_size,
+            representation="csr" if compiled is not None else "dict",
         )
         if backend.uses_processes:
             # Only the tiny task objects cross the pipe; the context was

@@ -43,7 +43,7 @@ class EngineStats:
 
     Attributes
     ----------
-    backend / workers / batch_size:
+    backend / workers / batch_size / representation:
         The execution configuration actually used (after ``auto``
         resolution and defaulting).
     batches:
@@ -62,6 +62,7 @@ class EngineStats:
     backend: str = "serial"
     workers: int = 1
     batch_size: int = 1
+    representation: str = "dict"
     batches: int = 0
     tasks_dispatched: int = 0
     tasks_folded: int = 0
@@ -91,7 +92,8 @@ class EngineStats:
     def summary(self) -> str:
         """One-line human summary (used by the CLI and benchmarks)."""
         return (
-            f"engine[{self.backend} x{self.workers}, batch={self.batch_size}]: "
+            f"engine[{self.backend} x{self.workers}, batch={self.batch_size}, "
+            f"{self.representation}]: "
             f"{self.batches} batches, {self.tasks_dispatched} tasks "
             f"({self.tasks_discarded} discarded), "
             f"dispatch {self.dispatch_seconds:.3f}s, "

@@ -10,18 +10,27 @@ process, at any time produces the same result from it.
 Tasks stay small (an index, a node, the initial set, an integer stream
 seed); the heavy shared state — the graph and the fitness function —
 travels once per worker inside a :class:`WorkerContext` via the pool
-initializer.  The task index doubles as the fold order, so results are
-mergeable no matter which worker computed them or when they arrived.
+initializer.  Under the ``csr`` representation the context carries the
+:class:`~repro.graph.csr.CompiledGraph` *instead of* the dict graph:
+three int32 numpy arrays that pickle as raw buffers, a fraction of the
+adjacency map's payload.  Tasks arrive in label space (the scheduler's
+language), are translated to dense ids at the worker boundary, and
+results are translated back, so everything outside the kernel — the
+scheduler, the reducer, dedup, covers — is representation-blind.
+
+The task index doubles as the fold order, so results are mergeable no
+matter which worker computed them or when they arrived.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Dict, Hashable, Optional
 
 from ..core.fitness import FitnessFunction
 from ..core.growth import grow_community
 from ..graph import Graph
+from ..graph.csr import CompiledGraph
 
 __all__ = [
     "GrowthTask",
@@ -49,7 +58,8 @@ class GrowthTask:
     initial_members:
         The "random neighbourhood of the seed" the climb starts from,
         drawn centrally by the scheduler so the draw order matches the
-        sequential algorithm exactly.
+        sequential algorithm exactly.  Always original labels; workers
+        translate to dense ids when running on the compiled graph.
     rng_seed:
         Private stream seed, ``derive_seed(master, STREAM_GROWTH,
         index)``; handed to the (currently deterministic) growth kernel
@@ -64,7 +74,12 @@ class GrowthTask:
 
 @dataclass(frozen=True)
 class GrowthTaskResult:
-    """What one local search produced, tagged for ordered reduction."""
+    """What one local search produced, tagged for ordered reduction.
+
+    ``members`` is in label space regardless of the representation the
+    worker ran on — the id <-> label translation happens entirely inside
+    :func:`execute_growth_task`, so the reducer never sees ids.
+    """
 
     index: int
     seed_node: Node
@@ -79,29 +94,53 @@ class WorkerContext:
     """Shared read-only state a worker needs to execute any growth task.
 
     Shipped once per worker (pool initializer), not once per task; must
-    therefore stay picklable for the process backend — which the pure
-    Python :class:`~repro.graph.Graph` and the dataclass fitness
-    functions are.
+    therefore stay picklable for the process backend.  Exactly one of
+    ``graph`` / ``compiled`` is set:
+
+    ``graph`` (dict representation)
+        The label-keyed :class:`~repro.graph.Graph`, plus ``rank`` — the
+        shared node -> insertion-rank map the greedy tie-breaking uses
+        (computed once in the driver instead of once per task).
+    ``compiled`` (csr representation)
+        The immutable :class:`~repro.graph.csr.CompiledGraph`; ids are
+        their own ranks, so no rank map travels.
     """
 
-    graph: Graph
     fitness: FitnessFunction
     max_growth_steps: Optional[int]
+    graph: Optional[Graph] = None
+    compiled: Optional[CompiledGraph] = None
+    rank: Optional[Dict[Node, int]] = None
 
 
 def execute_growth_task(context: WorkerContext, task: GrowthTask) -> GrowthTaskResult:
     """Run one greedy climb; a pure function of ``(context, task)``."""
-    growth = grow_community(
-        context.graph,
-        task.initial_members,
-        context.fitness,
-        max_steps=context.max_growth_steps,
-        seed=task.rng_seed,
-    )
+    if context.compiled is not None:
+        compiled = context.compiled
+        growth = grow_community(
+            compiled,
+            compiled.ids_of(task.initial_members),
+            context.fitness,
+            max_steps=context.max_growth_steps,
+            seed=task.rng_seed,
+        )
+        members = frozenset(compiled.labels_of(growth.members))
+    else:
+        if context.graph is None:
+            raise RuntimeError("worker context carries neither graph form")
+        growth = grow_community(
+            context.graph,
+            task.initial_members,
+            context.fitness,
+            max_steps=context.max_growth_steps,
+            seed=task.rng_seed,
+            rank=context.rank,
+        )
+        members = growth.members
     return GrowthTaskResult(
         index=task.index,
         seed_node=task.seed_node,
-        members=growth.members,
+        members=members,
         fitness_value=growth.fitness_value,
         steps=growth.steps,
         converged=growth.converged,

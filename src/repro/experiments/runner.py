@@ -20,6 +20,7 @@ from ..core import OCAConfig, oca, postprocess
 from ..engine import make_backend
 from ..errors import AlgorithmError
 from ..graph import Graph
+from ..graph.csr import CompiledGraph, attach_compiled, compile_graph
 
 __all__ = ["AlgorithmRun", "run_algorithm", "run_replicates", "ALGORITHMS"]
 
@@ -79,22 +80,28 @@ def run_algorithm(
     workers: int = 1,
     backend: str = "auto",
     batch_size: Optional[int] = None,
+    representation: str = "auto",
 ) -> AlgorithmRun:
     """Run one algorithm by figure label (``OCA``, ``LFK``, ``CFinder``).
 
     ``quality_mode=True`` (Figures 2/3) applies the shared post-processing
     — merge then orphan assignment — to whatever the algorithm returned.
     ``quality_mode=False`` (Figures 5/6) times the raw algorithm only.
-    ``workers``/``backend``/``batch_size`` configure the execution engine
-    for algorithms that support it (currently OCA; the baselines are
-    inherently sequential and ignore them).
+    ``workers``/``backend``/``batch_size``/``representation`` configure
+    the execution engine for algorithms that support it (currently OCA;
+    the baselines are inherently sequential and ignore them).
     """
     try:
         runner = _RUNNERS[name]
     except KeyError:
         valid = ", ".join(ALGORITHMS)
         raise AlgorithmError(f"unknown algorithm {name!r}; expected one of {valid}")
-    engine_opts = {"workers": workers, "backend": backend, "batch_size": batch_size}
+    engine_opts = {
+        "workers": workers,
+        "backend": backend,
+        "batch_size": batch_size,
+        "representation": representation,
+    }
     rng = as_random(seed)
     start = time.perf_counter()
     cover = runner(graph, spawn_seed(rng), quality_mode, engine_opts)
@@ -120,21 +127,29 @@ def run_algorithm(
 # for any worker count (and to the serial backend).  The graph ships
 # once per worker through the pool initializer (the same pattern as
 # :mod:`repro.engine.tasks`), so per-replicate payloads stay tiny.
+# Under the csr representation the compiled arrays ride along and are
+# attached to the worker's graph cache, so every replicate in a worker
+# reuses one compiled graph instead of recompiling (or, worse,
+# re-pickling the dict graph per payload).
 
-_ReplicatePayload = Tuple[str, int, bool, float, bool]
+_ReplicatePayload = Tuple[str, int, bool, float, bool, str]
 
 _REPLICATE_GRAPH: Optional[Graph] = None
 
 
-def _initialize_replicates(graph: Graph) -> None:
-    """Pool initializer: install the shared graph in this worker."""
+def _initialize_replicates(
+    graph: Graph, compiled: Optional[CompiledGraph] = None
+) -> None:
+    """Pool initializer: install the shared graph (and its compiled form)."""
     global _REPLICATE_GRAPH
+    if compiled is not None:
+        attach_compiled(graph, compiled)
     _REPLICATE_GRAPH = graph
 
 
 def _execute_replicate(payload: _ReplicatePayload) -> AlgorithmRun:
     """Module-level worker entry point (picklable for process pools)."""
-    name, seed, quality_mode, merge_threshold, assign_orphans = payload
+    name, seed, quality_mode, merge_threshold, assign_orphans, representation = payload
     if _REPLICATE_GRAPH is None:
         raise AlgorithmError("replicate worker used before initialisation")
     return run_algorithm(
@@ -144,6 +159,7 @@ def _execute_replicate(payload: _ReplicatePayload) -> AlgorithmRun:
         quality_mode=quality_mode,
         merge_threshold=merge_threshold,
         assign_orphans=assign_orphans,
+        representation=representation,
     )
 
 
@@ -157,21 +173,34 @@ def run_replicates(
     assign_orphans: bool = True,
     workers: int = 1,
     backend: str = "auto",
+    representation: str = "auto",
 ) -> List[AlgorithmRun]:
     """Run ``replicates`` independent executions, fanned out over a pool.
 
     Returns the runs in replicate order.  Replicate ``i`` uses stream
     seed ``spawn_streams(seed, replicates)[i]``, so the same call with
     more workers returns byte-identical covers, just sooner.
+
+    For OCA under the ``auto``/``csr`` representation the graph is
+    compiled once here, in the driver, and shipped to every worker next
+    to the dict graph; replicates then hit the worker-local compiled
+    cache instead of each paying the O(n + m) compile.
     """
     if replicates < 1:
         raise AlgorithmError(f"replicates must be >= 1, got {replicates}")
     seeds = spawn_streams(seed, replicates)
     payloads: List[_ReplicatePayload] = [
-        (name, s, quality_mode, merge_threshold, assign_orphans) for s in seeds
+        (name, s, quality_mode, merge_threshold, assign_orphans, representation)
+        for s in seeds
     ]
+    compiled: Optional[CompiledGraph] = None
+    if name == "OCA" and representation in ("auto", "csr"):
+        compiled = compile_graph(graph)
     pool = make_backend(
-        backend, workers, initializer=_initialize_replicates, initargs=(graph,)
+        backend,
+        workers,
+        initializer=_initialize_replicates,
+        initargs=(graph, compiled),
     )
     try:
         return pool.map_ordered(_execute_replicate, payloads)

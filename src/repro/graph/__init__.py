@@ -6,6 +6,7 @@ else in :mod:`repro` builds on :class:`Graph`.
 """
 
 from .graph import Graph, Node, Edge
+from .csr import GraphBackend, CompiledGraph, compile_graph, attach_compiled
 from .builder import GraphBuilder, BuildReport
 from .subgraph import (
     induced_subgraph,
@@ -54,6 +55,10 @@ __all__ = [
     "Graph",
     "Node",
     "Edge",
+    "GraphBackend",
+    "CompiledGraph",
+    "compile_graph",
+    "attach_compiled",
     "GraphBuilder",
     "BuildReport",
     "induced_subgraph",

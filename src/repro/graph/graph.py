@@ -15,6 +15,9 @@ Design notes
   ids (the spectral routines) obtain them through
   :meth:`Graph.node_index`.
 * The edge count is maintained incrementally so ``number_of_edges`` is O(1).
+* This class is the mutable *construction* API.  Hot paths run on the
+  immutable CSR form produced by :func:`repro.graph.csr.compile_graph`,
+  which is cached here (``_compiled``) and invalidated by any mutation.
 """
 
 from __future__ import annotations
@@ -49,7 +52,7 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_compiled")
 
     def __init__(
         self,
@@ -58,6 +61,9 @@ class Graph:
     ) -> None:
         self._adj: Dict[Node, Set[Node]] = {}
         self._num_edges: int = 0
+        # Cache slot for the immutable CSR form (repro.graph.csr); owned
+        # by compile_graph/attach_compiled, invalidated by any mutation.
+        self._compiled = None
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -70,6 +76,7 @@ class Graph:
         """Insert ``node``; a no-op if it is already present."""
         if node not in self._adj:
             self._adj[node] = set()
+            self._compiled = None
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         """Insert every node of ``nodes``."""
@@ -92,6 +99,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._compiled = None
         return True
 
     def add_edges(self, edges: Iterable[Edge]) -> int:
@@ -113,6 +121,7 @@ class Graph:
         neighbours.discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._compiled = None
 
     def remove_node(self, node: Node) -> None:
         """Delete ``node`` and every incident edge.
@@ -126,6 +135,7 @@ class Graph:
             self._adj[other].discard(node)
         self._num_edges -= len(neighbours)
         del self._adj[node]
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -226,6 +236,20 @@ class Graph:
         clone._adj = {node: set(adj) for node, adj in self._adj.items()}
         clone._num_edges = self._num_edges
         return clone
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The compiled CSR cache is derived state; shipping it alongside
+        # the adjacency map would double worker payloads.  Callers that
+        # want the arrays ship the CompiledGraph itself (see
+        # repro.graph.csr.attach_compiled).
+        return (self._adj, self._num_edges)
+
+    def __setstate__(self, state) -> None:
+        self._adj, self._num_edges = state
+        self._compiled = None
 
     def node_index(self) -> Dict[Node, int]:
         """A dense ``node -> int`` index in insertion order.

@@ -9,11 +9,12 @@ translate eigenvector entries back to nodes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from .csr import compile_graph
 from .graph import Graph, Node
 
 __all__ = [
@@ -27,20 +28,22 @@ def adjacency_with_index(graph: Graph) -> Tuple[sp.csr_matrix, Dict[Node, int]]:
     """The CSR adjacency matrix together with the node index used.
 
     Row/column ``i`` corresponds to the ``i``-th node in insertion order.
+    Built straight from the compiled CSR form (cached on the graph):
+    :func:`~repro.graph.csr.compile_graph` already stores per-row-sorted
+    neighbour ids, which is exactly SciPy's canonical layout, so the
+    matrix here is structurally identical to the old COO round-trip —
+    including matvec summation order, which keeps spectral results
+    bit-stable — without materialising edge lists.
     """
-    index = graph.node_index()
-    n = len(index)
-    rows: List[int] = []
-    cols: List[int] = []
-    for u, v in graph.edges():
-        i, j = index[u], index[v]
-        rows.append(i)
-        cols.append(j)
-        rows.append(j)
-        cols.append(i)
-    data = np.ones(len(rows), dtype=np.float64)
-    matrix = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
-    return matrix, index
+    compiled = compile_graph(graph)
+    n = compiled.number_of_nodes()
+    data = np.ones(len(compiled.indices), dtype=np.float64)
+    matrix = sp.csr_matrix(
+        (data, compiled.indices, compiled.indptr), shape=(n, n)
+    )
+    # Fresh dict: node_index() always returned an owned copy, and the
+    # compiled cache must not be mutable through this return value.
+    return matrix, dict(compiled.index)
 
 
 def adjacency_matrix(graph: Graph) -> sp.csr_matrix:

@@ -1,0 +1,153 @@
+"""The CSR tentpole guarantee: representation never changes the cover.
+
+``oca(g, seed=S)`` must return byte-identical covers under
+``representation`` in {dict, csr} for every seed, worker count, and
+backend — the same contract PR 1 established for parallelism, extended
+to the graph representation axis.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import oca
+from repro.core import LFKFitness, OCAConfig
+from repro.errors import ConfigurationError
+from repro.generators import LFRParams, daisy_tree, lfr_graph, ring_of_cliques
+from repro.graph import Graph
+
+from ..conftest import edge_lists
+
+
+@pytest.fixture(scope="module")
+def daisy():
+    return daisy_tree(flowers=5, seed=7).graph
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ring_of_cliques(5, 6)[0]
+
+
+@pytest.fixture(scope="module")
+def lfr():
+    return lfr_graph(LFRParams(n=300, mu=0.2), seed=5).graph
+
+
+def assert_identical(dict_result, csr_result):
+    assert csr_result.cover == dict_result.cover
+    assert csr_result.raw_cover == dict_result.raw_cover
+    assert csr_result.fitness_values == dict_result.fitness_values
+    assert csr_result.runs == dict_result.runs
+    assert csr_result.c == dict_result.c
+
+
+class TestAcceptanceMatrix:
+    """daisy/ring/LFR x serial/thread/process x workers {1, 2, 8}."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_daisy_identical_covers(self, daisy, backend, workers):
+        dict_result = oca(
+            daisy, seed=7, representation="dict",
+            backend=backend, workers=workers, batch_size=16,
+        )
+        csr_result = oca(
+            daisy, seed=7, representation="csr",
+            backend=backend, workers=workers, batch_size=16,
+        )
+        assert_identical(dict_result, csr_result)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_ring_identical_covers(self, ring, backend, workers):
+        dict_result = oca(
+            ring, seed=11, representation="dict",
+            backend=backend, workers=workers, batch_size=16,
+        )
+        csr_result = oca(
+            ring, seed=11, representation="csr",
+            backend=backend, workers=workers, batch_size=16,
+        )
+        assert_identical(dict_result, csr_result)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_lfr_identical_covers(self, lfr, backend, workers):
+        dict_result = oca(
+            lfr, seed=5, representation="dict",
+            backend=backend, workers=workers, batch_size=32,
+        )
+        csr_result = oca(
+            lfr, seed=5, representation="csr",
+            backend=backend, workers=workers, batch_size=32,
+        )
+        assert_identical(dict_result, csr_result)
+
+
+class TestRepresentationSemantics:
+    def test_auto_resolves_to_csr_for_default_fitness(self, daisy):
+        result = oca(daisy, seed=7)
+        assert result.engine_stats.representation == "csr"
+
+    def test_dict_is_forceable(self, daisy):
+        result = oca(daisy, seed=7, representation="dict")
+        assert result.engine_stats.representation == "dict"
+
+    def test_auto_falls_back_to_dict_for_non_monotone_fitness(self, daisy):
+        result = oca(daisy, seed=7, fitness=LFKFitness(alpha=1.0))
+        assert result.engine_stats.representation == "dict"
+
+    def test_forcing_csr_with_non_monotone_fitness_raises(self, daisy):
+        with pytest.raises(ConfigurationError):
+            oca(
+                daisy, seed=7,
+                representation="csr", fitness=LFKFitness(alpha=1.0),
+            )
+
+    def test_invalid_representation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OCAConfig(representation="sparse")
+
+    def test_string_labelled_graph_identical(self):
+        g = Graph()
+        for flower in range(4):
+            hub = f"hub{flower}"
+            for petal in range(5):
+                leaf = f"n{flower}.{petal}"
+                g.add_edge(hub, leaf)
+                g.add_edge(leaf, f"n{flower}.{(petal + 1) % 5}")
+        for flower in range(4):
+            g.add_edge(f"hub{flower}", f"hub{(flower + 1) % 4}")
+        dict_result = oca(g, seed=3, representation="dict", batch_size=4)
+        csr_result = oca(g, seed=3, representation="csr", batch_size=4)
+        assert_identical(dict_result, csr_result)
+
+    def test_seed_sweep_identical(self, ring):
+        for seed in range(5):
+            assert_identical(
+                oca(ring, seed=seed, representation="dict"),
+                oca(ring, seed=seed, representation="csr"),
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(edges=edge_lists(max_nodes=12, max_edges=36))
+def test_random_graphs_identical_across_representation_and_workers(edges):
+    """Covers agree under representation x workers {1, 4} on random graphs."""
+    g = Graph(edges=edges)
+    if g.number_of_nodes() == 0:
+        return
+    results = [
+        oca(
+            g, seed=13, representation=representation,
+            workers=workers, backend="thread" if workers > 1 else "serial",
+            batch_size=4,
+        )
+        for representation in ("dict", "csr")
+        for workers in (1, 4)
+    ]
+    baseline = results[0]
+    for other in results[1:]:
+        assert other.cover == baseline.cover
+        assert other.raw_cover == baseline.raw_cover
+        assert other.fitness_values == baseline.fitness_values

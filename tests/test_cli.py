@@ -47,6 +47,27 @@ def test_detect_raw_mode(graph_file, capsys):
     assert main(["detect", str(graph_file), "--raw", "--seed", "0"]) == 0
 
 
+@pytest.mark.parametrize("representation", ["auto", "dict", "csr"])
+def test_detect_representation_flag(graph_file, capsys, representation):
+    code = main(
+        ["detect", str(graph_file), "--seed", "0",
+         "--representation", representation]
+    )
+    assert code == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_detect_representations_emit_identical_covers(graph_file, capsys):
+    outputs = {}
+    for representation in ("dict", "csr"):
+        assert main(
+            ["detect", str(graph_file), "--seed", "0",
+             "--representation", representation]
+        ) == 0
+        outputs[representation] = capsys.readouterr().out
+    assert outputs["dict"] == outputs["csr"]
+
+
 def test_info(graph_file, capsys):
     assert main(["info", str(graph_file)]) == 0
     out = capsys.readouterr().out
