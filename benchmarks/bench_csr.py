@@ -35,7 +35,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro import oca
+from repro import DetectionRequest, get_detector
 from repro.core.vector_space import admissible_c
 from repro.generators import LFRParams, lfr_graph
 from repro.graph import compile_graph
@@ -116,10 +116,18 @@ def measure_size(n: int, seed: int, repeats: int, echo=print) -> SizeResult:
 
     timings = {"dict": [], "csr": []}
     results = {}
+    detector = get_detector("oca")
     for _ in range(repeats):
         for representation in ("dict", "csr"):
             start = time.perf_counter()
-            result = oca(graph, seed=seed, c=c, representation=representation)
+            result = detector.detect(
+                DetectionRequest(
+                    graph=graph,
+                    seed=seed,
+                    params={"c": c},
+                    representation=representation,
+                )
+            )
             timings[representation].append(time.perf_counter() - start)
             results[representation] = result
     dict_seconds = min(timings["dict"])

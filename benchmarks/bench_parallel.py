@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro import oca
+from repro import DetectionRequest, get_detector
 from repro.core.vector_space import admissible_c
 from repro.generators import LFRParams, daisy_tree, lfr_graph
 
@@ -70,13 +70,15 @@ class Measurement:
 def measure(graph, seed, c, workers, backend, batch_size) -> Measurement:
     """Time one full ``oca`` execution with the given engine config."""
     start = time.perf_counter()
-    result = oca(
-        graph,
-        seed=seed,
-        c=c,
-        workers=workers,
-        backend=backend,
-        batch_size=batch_size,
+    result = get_detector("oca").detect(
+        DetectionRequest(
+            graph=graph,
+            seed=seed,
+            params={"c": c},
+            workers=workers,
+            backend=backend,
+            batch_size=batch_size,
+        )
     )
     elapsed = time.perf_counter() - start
     label = f"{backend} x{workers}"

@@ -17,6 +17,7 @@ Run:  python examples/custom_pipeline.py
 
 import io
 
+from repro import DetectionRequest, get_detector
 from repro.communities import write_cover
 from repro.core import (
     CoverageHalting,
@@ -25,7 +26,6 @@ from repro.core import (
     VirtualVectorRepresentation,
     admissible_c,
     grow_community,
-    oca,
 )
 from repro.generators import ring_of_cliques
 
@@ -58,7 +58,9 @@ def main() -> None:
         merge_threshold=0.5,
         assign_orphans=True,
     )
-    result = oca(graph, seed=0, config=config)
+    result = get_detector("oca").detect(
+        DetectionRequest(graph=graph, seed=0, params={"config": config})
+    )
     print(f"custom-config OCA: {len(result.cover)} communities "
           f"in {result.runs} runs")
 

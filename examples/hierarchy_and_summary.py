@@ -9,7 +9,7 @@ This example exercises both extensions on a daisy tree.
 Run:  python examples/hierarchy_and_summary.py
 """
 
-from repro import oca
+from repro import DetectionRequest, get_detector
 from repro.experiments import ascii_table
 from repro.extensions import (
     community_graph,
@@ -27,7 +27,7 @@ def main() -> None:
           f"{graph.number_of_edges()} edges, 4 flowers\n")
 
     # --- Relations between found communities -------------------------------
-    result = oca(graph, seed=11)
+    result = get_detector("oca").detect(DetectionRequest(graph=graph, seed=11))
     relations = community_graph(graph, result.cover)
     overlaps = [r for r in relations if r.shared_nodes > 0]
     bridges = [r for r in relations if r.shared_nodes == 0]

@@ -8,7 +8,7 @@ truth with the paper's own quality measures.
 Run:  python examples/quickstart.py
 """
 
-from repro import oca
+from repro import DetectionRequest, get_detector
 from repro.communities import rho, theta
 from repro.generators import daisy_graph
 
@@ -20,8 +20,9 @@ def main() -> None:
     print(f"graph: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} edges")
     print(f"planted communities: {len(instance.communities)} (petals + core)\n")
 
-    # Run OCA.  Everything is deterministic given the seed.
-    result = oca(graph, seed=7)
+    # Run OCA through the detector registry.  Everything is
+    # deterministic given the seed.
+    result = get_detector("oca").detect(DetectionRequest(graph=graph, seed=7))
     print(f"OCA used c = {result.c:.4f} (computed as -1/lambda_min)")
     print(f"local searches: {result.runs}, communities found: {len(result.cover)}\n")
 

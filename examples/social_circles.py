@@ -12,7 +12,7 @@ the brokers a partition is forced to assign to a single side.
 Run:  python examples/social_circles.py
 """
 
-from repro import oca
+from repro import DetectionRequest, get_detector
 from repro.baselines import greedy_modularity
 from repro.communities import rho, theta
 from repro.generators import karate_club
@@ -24,7 +24,11 @@ def main() -> None:
     print("observed split: two factions (Mr. Hi vs. the officers)\n")
 
     # --- Overlapping view -------------------------------------------------
-    result = oca(graph, seed=0, assign_orphans=True)
+    result = get_detector("oca").detect(
+        DetectionRequest(
+            graph=graph, seed=0, params={"assign_orphans": True}
+        )
+    )
     print(f"OCA found {len(result.cover)} overlapping communities")
     for index, community in enumerate(result.cover):
         best = max(rho(community, f) for f in factions)

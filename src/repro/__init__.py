@@ -10,6 +10,14 @@ The package implements:
   the directed-Laplacian fitness;
 * the **baselines** it compares against — LFK local fitness optimisation
   and CFinder k-clique percolation (:mod:`repro.baselines`);
+* a **unified detector API** (:mod:`repro.detectors`): every algorithm
+  registers under a string key and speaks one
+  :class:`~repro.detection.DetectionRequest` /
+  :class:`~repro.detection.DetectionResult` contract —
+  ``get_detector("oca" | "lfk" | "cfinder" | "cpm")`` — while
+  :class:`~repro.detectors.GraphSession` binds one graph and amortises
+  its expensive artifacts (compiled CSR form, spectral ``c``, warm
+  worker pool) across repeated detections;
 * the **benchmarks** of its evaluation — the LFR generator, the daisy /
   daisy-tree overlapping benchmark, and a Wikipedia-scale synthetic graph
   (:mod:`repro.generators`);
@@ -22,20 +30,31 @@ The package implements:
   regenerating every table and figure (:mod:`repro.experiments`);
 * a pluggable **execution engine** (:mod:`repro.engine`) that fans the
   repeated local searches out over serial/thread/process worker pools
-  with deterministic per-task RNG streams — ``oca(g, seed=7, workers=8,
-  batch_size=32)`` returns the same cover for any worker count and
-  backend (``batch_size > 1`` opts into the speculative batching that
-  makes the workers useful; the default of 1 is exactly sequential).
+  with deterministic per-task RNG streams; covers are identical for any
+  worker count and backend (``batch_size > 1`` opts into the
+  speculative batching that makes the workers useful; the default of 1
+  is exactly sequential).
 
 Quickstart::
 
-    from repro import oca
+    from repro import DetectionRequest, GraphSession, get_detector
     from repro.generators import daisy_tree
 
     instance = daisy_tree(flowers=5, seed=7)
-    result = oca(instance.graph, seed=7)
+
+    # one-shot detection through the registry
+    result = get_detector("oca").detect(
+        DetectionRequest(graph=instance.graph, seed=7)
+    )
     for community in result.cover:
         print(sorted(community))
+
+    # repeated detection: graph setup paid exactly once
+    with GraphSession(instance.graph) as session:
+        covers = [session.detect("oca", seed=s).cover for s in range(10)]
+
+The original entry points ``oca()`` / ``lfk()`` / ``cfinder()`` remain
+as compatibility wrappers with unchanged outputs.
 """
 
 from .errors import (
@@ -53,11 +72,20 @@ from .errors import (
 )
 from .graph import CompiledGraph, Graph, compile_graph
 from .communities import Community, Cover, Partition, rho, theta
+from .detection import DetectionRequest, DetectionResult
 from .core import OCA, OCAConfig, OCAResult, oca, admissible_c
 from .engine import EngineStats, ExecutionEngine, make_backend
 from .baselines import cfinder, lfk, clique_percolation
+from .detectors import (
+    CommunityDetector,
+    GraphSession,
+    SessionStats,
+    available_detectors,
+    get_detector,
+    register_detector,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -80,6 +108,14 @@ __all__ = [
     "Partition",
     "rho",
     "theta",
+    "DetectionRequest",
+    "DetectionResult",
+    "CommunityDetector",
+    "register_detector",
+    "get_detector",
+    "available_detectors",
+    "GraphSession",
+    "SessionStats",
     "OCA",
     "OCAConfig",
     "OCAResult",

@@ -27,8 +27,15 @@ def maximal_cliques(graph: Graph) -> Iterator[FrozenSet[Node]]:
     single-node cliques.
     """
     # Iterative formulation to dodge Python's recursion limit on large,
-    # dense instances.
-    adjacency = {node: graph.neighbors(node) for node in graph.nodes()}
+    # dense instances.  Works on any GraphBackend: dict graphs expose
+    # neighbour *sets* directly (kept live, no copy); compiled graphs
+    # return id arrays, materialised here as int sets once per node.
+    adjacency = {}
+    for node in graph.nodes():
+        neighbours = graph.neighbors(node)
+        if not isinstance(neighbours, (set, frozenset)):
+            neighbours = {int(v) for v in neighbours}
+        adjacency[node] = neighbours
     stack: List[tuple] = [
         (set(), set(adjacency), set())
     ]  # frames of (R, P, X)

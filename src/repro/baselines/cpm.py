@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Set
 
 from ..communities import Cover
+from ..detection import _warn_legacy
 from ..errors import ConfigurationError
 from ..graph import Graph
 from .cliques import cliques_at_least
@@ -136,5 +137,13 @@ def clique_percolation(
 
 
 def cfinder(graph: Graph, k: int = 3, faithful_overlap: bool = True) -> Cover:
-    """CFinder with the paper's parameterisation; returns just the cover."""
+    """CFinder with the paper's parameterisation; returns just the cover.
+
+    .. deprecated::
+        Legacy compatibility wrapper with unchanged outputs; new code
+        should use ``get_detector("cfinder")`` (or ``"cpm"`` for the
+        full parameter surface).  :func:`clique_percolation` remains the
+        supported low-level API.
+    """
+    _warn_legacy("repro.cfinder()", "get_detector('cfinder')")
     return clique_percolation(graph, k=k, faithful_overlap=faithful_overlap).cover

@@ -22,6 +22,15 @@ The cover is produced by the covering loop of [8]: pick an uncovered
 node, compute its natural community, mark its members covered, repeat
 until no node is uncovered.  Overlap arises because a natural community
 freely includes already-covered nodes.
+
+Determinism: every scan (the addition argmax of step A, the removal
+sweep of step B) enumerates candidates in **insertion-rank order**, so
+the trajectory is a pure function of the graph's construction order and
+the seed — independent of Python's set iteration order, and identical
+whether the algorithm runs on the label-keyed :class:`~repro.graph.Graph`
+or the dense-id :class:`~repro.graph.CompiledGraph` (where ids *are*
+ranks).  That shared canonical order is what lets the detector registry
+guarantee byte-identical covers across graph representations.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from typing import Dict, Hashable, List, Optional, Set
 
 from .._rng import SeedLike, as_random
 from ..communities import Cover
+from ..detection import _warn_legacy
 from ..errors import ConfigurationError
 from ..graph import Graph
 from ..core.fitness import LFKFitness
@@ -81,23 +91,27 @@ def natural_community(
 ) -> Set[Node]:
     """The natural community of ``node`` under the LFK fitness.
 
-    Deterministic: ties in the argmax resolve to the first-enumerated
-    candidate.  ``max_steps`` bounds the total accepted moves (default
-    ``4n + 16``).  ``rank`` is the optional shared tie-break map for the
-    community state (LFK's own scans never consult it, but passing the
-    covering loop's copy avoids an O(n) rebuild per natural community).
+    Deterministic: candidates are scanned in insertion-rank order, so
+    ties in the argmax resolve to the lowest-rank candidate — the same
+    canonical rule the OCA greedy kernels use, making the result
+    identical across graph representations.  ``max_steps`` bounds the
+    total accepted moves (default ``4n + 16``).  ``rank`` is the shared
+    node -> insertion-rank map; it is built from the graph (O(n)) when
+    omitted, so hot loops should pass the covering loop's copy.
     """
     fitness = LFKFitness(alpha=alpha)
+    if rank is None:
+        rank = {n: i for i, n in enumerate(graph.nodes())}
     state = CommunityState(graph, [node], rank=rank)
     if max_steps is None:
         max_steps = 4 * graph.number_of_nodes() + 16
     steps = 0
     while steps < max_steps:
-        # Step A: best addition.
+        # Step A: best addition, scanned in rank order.
         current = state.value(fitness)
         best_node = None
         best_value = current
-        for candidate in state.frontier:
+        for candidate in sorted(state.frontier, key=rank.__getitem__):
             value = state.value_if_added(candidate, fitness)
             if value > best_value + _EPS:
                 best_value = value
@@ -113,7 +127,7 @@ def natural_community(
         while removed and steps < max_steps and state.size > 1:
             removed = False
             current = state.value(fitness)
-            for member in list(state.members):
+            for member in sorted(state.members, key=rank.__getitem__):
                 if state.size <= 1:
                     break
                 value = state.value_if_removed(member, fitness)
@@ -125,13 +139,14 @@ def natural_community(
     return set(state.members)
 
 
-def lfk(
+def _lfk(
     graph: Graph,
     alpha: float = 1.0,
     seed: SeedLike = None,
     max_steps_per_community: Optional[int] = None,
 ) -> LFKResult:
-    """Run the full LFK covering loop on ``graph``.
+    """The LFK covering loop (implementation behind :func:`lfk` and the
+    ``lfk`` detector).
 
     Seeds are drawn uniformly among uncovered nodes (shuffled once with
     ``seed``), as in [8].  Every node ends up covered: a node whose
@@ -170,4 +185,26 @@ def lfk(
         alpha=alpha,
         natural_communities=computed,
         elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def lfk(
+    graph: Graph,
+    alpha: float = 1.0,
+    seed: SeedLike = None,
+    max_steps_per_community: Optional[int] = None,
+) -> LFKResult:
+    """Run the full LFK covering loop on ``graph``.
+
+    .. deprecated::
+        Legacy compatibility wrapper with unchanged outputs; new code
+        should use ``get_detector("lfk")`` or a
+        :class:`~repro.detectors.GraphSession`.
+    """
+    _warn_legacy("repro.lfk()", "get_detector('lfk')")
+    return _lfk(
+        graph,
+        alpha=alpha,
+        seed=seed,
+        max_steps_per_community=max_steps_per_community,
     )

@@ -3,8 +3,12 @@
 Subcommands:
 
 ``detect``
-    Run an algorithm (OCA by default) on an edge-list file and write the
-    cover (one community per line) to stdout or a file.
+    Run any registered detector (``oca`` by default; also ``lfk``,
+    ``cfinder``, ``cpm``) on an edge-list file and write the cover (one
+    community per line) to stdout or a file.  Dispatch goes through the
+    detector registry, so downstream algorithms registered with
+    :func:`repro.detectors.register_detector` are equally reachable from
+    the experiment harness.
 ``experiment``
     Regenerate one paper artefact (table1, figure2 .. figure6,
     wikipedia) and print its data table.
@@ -58,9 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("graph", help="path to an edge-list file (u v per line)")
     detect.add_argument(
         "--algorithm",
-        choices=["OCA", "LFK", "CFinder"],
-        default="OCA",
-        help="which algorithm to run (default: OCA)",
+        type=str.lower,
+        choices=["oca", "lfk", "cfinder", "cpm"],
+        default="oca",
+        help=(
+            "which registered detector to run (default: oca); "
+            "case-insensitive, so the paper's labels OCA/LFK/CFinder "
+            "work too"
+        ),
     )
     detect.add_argument("--seed", type=int, default=None, help="random seed")
     detect.add_argument(

@@ -20,6 +20,7 @@ from .spectral import (
 from .vector_space import (
     MAX_C_MARGIN,
     admissible_c,
+    shared_admissible_c,
     phi,
     VirtualVectorRepresentation,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "adjacency_extreme_eigenvalues",
     "MAX_C_MARGIN",
     "admissible_c",
+    "shared_admissible_c",
     "phi",
     "VirtualVectorRepresentation",
     "FitnessFunction",

@@ -7,23 +7,26 @@ across runs are collapsed; the configured halting criterion (plus seed
 exhaustion) ends the loop; post-processing merges near-duplicate
 communities and, on request, assigns orphan nodes.
 
-Typical use::
+Typical use goes through the detector registry::
 
-    from repro import oca
+    from repro import DetectionRequest, get_detector
     from repro.generators import daisy_tree
 
     instance = daisy_tree(flowers=5, seed=7)
-    result = oca(instance.graph, seed=7)
+    detector = get_detector("oca")
+    result = detector.detect(DetectionRequest(graph=instance.graph, seed=7))
     print(result.cover)
 
-The functional wrapper :func:`oca` covers common cases; the :class:`OCA`
-class exposes the full configuration surface.  The repeated local
-searches run on the pluggable :mod:`repro.engine` — ``oca(g, seed=7,
-workers=8, batch_size=32)`` fans them out over eight processes and
-returns the exact cover that ``workers=1`` would.  (``batch_size``
-controls how many searches are in flight at once; the default of 1 is
-the paper's exact sequential semantics, so raising it is what actually
-enables parallelism.)
+or, for repeated detections over one graph, a
+:class:`~repro.detectors.GraphSession`.  The :class:`OCA` class below is
+the underlying algorithm driver with the full configuration surface; the
+module-level :func:`oca` is the original functional entry point, kept as
+a thin compatibility wrapper.  The repeated local searches run on the
+pluggable :mod:`repro.engine` — ``workers=8, batch_size=32`` fans them
+out over eight processes and returns the exact cover ``workers=1``
+would.  (``batch_size`` controls how many searches are in flight at
+once; the default of 1 is the paper's exact sequential semantics, so
+raising it is what actually enables parallelism.)
 
 The greedy hot path itself runs on one of two graph representations
 (``OCAConfig.representation``): the label-keyed dict substrate, or the
@@ -41,15 +44,17 @@ from typing import Hashable, List, Optional
 
 from .._rng import SeedLike, as_random
 from ..communities import Cover
-from ..engine.engine import ExecutionEngine
+from ..detection import DetectionResult, _warn_legacy
+from ..engine.engine import DEFAULT_BATCH_SIZE, ExecutionEngine
 from ..engine.progress import EngineStats
 from ..errors import AlgorithmError, ConfigurationError
 from ..graph import Graph, compile_graph
+from ..graph.csr import CompiledGraph
 from .config import OCAConfig
 from .fitness import DirectedLaplacianFitness, FitnessFunction
 from .postprocess import postprocess
 from .seeding import SeedingStrategy, make_seeding
-from .vector_space import admissible_c
+from .vector_space import shared_admissible_c
 
 __all__ = ["OCAResult", "OCA", "oca"]
 
@@ -57,8 +62,12 @@ Node = Hashable
 
 
 @dataclass
-class OCAResult:
+class OCAResult(DetectionResult):
     """Everything an OCA execution produced.
+
+    A subtype of :class:`~repro.detection.DetectionResult`: generic
+    callers read ``cover`` / ``stats`` / ``elapsed_seconds`` like any
+    other algorithm's result, OCA-aware callers get the full picture.
 
     Attributes
     ----------
@@ -81,16 +90,18 @@ class OCAResult:
     engine_stats:
         Batching/dispatch statistics from the execution engine
         (``None`` only for the trivial empty-graph short-circuit).
+    stats:
+        Serving-layer accounting: ``c_source`` (``cache`` /
+        ``power_method`` / ``config``), ``compiled_reused``,
+        ``engine_pool`` (``reused`` / ``fresh`` / ``none``), ``runs``.
     """
 
-    cover: Cover
-    raw_cover: Cover
-    c: float
-    runs: int
-    duplicate_runs: int
-    discarded_small: int
+    raw_cover: Cover = field(default_factory=Cover)
+    c: float = 0.0
+    runs: int = 0
+    duplicate_runs: int = 0
+    discarded_small: int = 0
     fitness_values: List[float] = field(default_factory=list)
-    elapsed_seconds: float = 0.0
     engine_stats: Optional[EngineStats] = None
 
     def __repr__(self) -> str:
@@ -121,14 +132,35 @@ class OCA:
         self.config = config or OCAConfig()
 
     # ------------------------------------------------------------------
-    def _resolve_c(self, graph: Graph, seed: SeedLike) -> float:
+    def _resolve_c(self, graph) -> "tuple[float, str]":
+        """The inner-product value and where it came from.
+
+        Spectral resolution uses a fixed internal start-vector seed (see
+        :func:`~repro.core.vector_space.shared_admissible_c`), so it
+        neither consumes the run's RNG stream nor varies with the user
+        seed — which is what makes the cached value shareable across
+        calls without perturbing any cover.
+        """
         if self.config.c is not None:
-            return self.config.c
-        return admissible_c(
+            return self.config.c, "config"
+        c, hit = shared_admissible_c(
             graph,
             tol=self.config.spectral_tol,
             max_iterations=self.config.spectral_max_iterations,
-            seed=seed,
+        )
+        return c, "cache" if hit else "power_method"
+
+    def _engine_matches(self, engine: ExecutionEngine) -> bool:
+        """Whether a supplied engine reflects the config's engine knobs."""
+        batch_size = (
+            DEFAULT_BATCH_SIZE
+            if self.config.batch_size is None
+            else self.config.batch_size
+        )
+        return (
+            engine.batch_size == batch_size
+            and engine.workers == self.config.workers
+            and engine.backend == self.config.backend
         )
 
     def _resolve_seeding(self) -> SeedingStrategy:
@@ -159,15 +191,35 @@ class OCA:
         return representation
 
     # ------------------------------------------------------------------
-    def run(self, graph: Graph, seed: SeedLike = None) -> OCAResult:
+    def run(
+        self,
+        graph: Graph,
+        seed: SeedLike = None,
+        engine: Optional[ExecutionEngine] = None,
+    ) -> OCAResult:
         """Execute OCA on ``graph``; fully deterministic given ``seed``.
 
+        ``graph`` may be a :class:`~repro.graph.Graph` or a
+        :class:`~repro.graph.CompiledGraph` (the latter runs in dense-id
+        space; the detector layer translates covers back to labels).
+
         The repeated local searches are delegated to the execution
-        engine.  All randomness is consumed centrally from one shared
-        generator (spectral resolution of ``c``, then scheduling), so
-        the cover depends only on ``seed`` and ``batch_size`` — never on
-        ``workers`` or ``backend`` — and the default ``batch_size=1``
-        reproduces the sequential algorithm draw-for-draw.
+        engine.  All scheduling randomness is consumed centrally from
+        one shared generator, so the cover depends only on ``seed`` and
+        ``batch_size`` — never on ``workers`` or ``backend`` — and the
+        default ``batch_size=1`` reproduces the sequential algorithm
+        draw-for-draw.
+
+        ``engine`` lets a caller supply a pre-built (typically
+        persistent) :class:`~repro.engine.ExecutionEngine` whose warm
+        worker pool should be used instead of constructing a fresh one.
+        The config's engine knobs stay authoritative: a supplied engine
+        is used only when its backend/workers/batch settings match the
+        config (``batch_size`` is part of the cover's identity, so
+        silently running on a mismatched pool would change results);
+        otherwise an ephemeral engine honouring the config is built.
+        The caller keeps ownership: this method never closes a supplied
+        engine.
         """
         start = time.perf_counter()
         n = graph.number_of_nodes()
@@ -181,8 +233,12 @@ class OCA:
                 discarded_small=0,
                 elapsed_seconds=time.perf_counter() - start,
             )
+        compiled_was_cached = (
+            isinstance(graph, CompiledGraph)
+            or getattr(graph, "_compiled", None) is not None
+        )
         rng = as_random(seed)
-        c = self._resolve_c(graph, rng)
+        c, c_source = self._resolve_c(graph)
         if self.config.fitness is not None:
             fitness: FitnessFunction = self.config.fitness
         else:
@@ -191,11 +247,17 @@ class OCA:
         representation = self._resolve_representation(fitness)
         compiled = compile_graph(graph) if representation == "csr" else None
 
-        engine = ExecutionEngine(
-            backend=self.config.backend,
-            workers=self.config.workers,
-            batch_size=self.config.batch_size,
-        )
+        if engine is not None and not self._engine_matches(engine):
+            engine = None
+        if engine is None:
+            engine = ExecutionEngine(
+                backend=self.config.backend,
+                workers=self.config.workers,
+                batch_size=self.config.batch_size,
+            )
+            pool_mode = "none"
+        else:
+            pool_mode = "external"
         outcome = engine.run(
             graph,
             fitness=fitness,
@@ -207,6 +269,8 @@ class OCA:
             min_community_size=self.config.min_community_size,
             compiled=compiled,
         )
+        if pool_mode == "external":
+            pool_mode = "reused" if outcome.engine_stats.pool_reused else "fresh"
 
         raw_cover = Cover(outcome.found)
         final_cover = postprocess(
@@ -225,6 +289,12 @@ class OCA:
             fitness_values=list(outcome.found.values()),
             elapsed_seconds=time.perf_counter() - start,
             engine_stats=outcome.engine_stats,
+            stats={
+                "c_source": c_source,
+                "compiled_reused": compiled_was_cached,
+                "engine_pool": pool_mode,
+                "runs": outcome.run_stats.runs,
+            },
         )
 
 
@@ -238,7 +308,13 @@ def oca(
 
     Keyword overrides are applied on top of ``config`` (or the default
     configuration), e.g. ``oca(g, merge_threshold=0.9, assign_orphans=True)``.
+
+    .. deprecated::
+        Legacy compatibility wrapper with unchanged outputs; new code
+        should use ``get_detector("oca")`` or a
+        :class:`~repro.detectors.GraphSession`.
     """
+    _warn_legacy("repro.oca()", "get_detector('oca') or GraphSession")
     if config is not None and overrides:
         raise AlgorithmError("pass either a config object or overrides, not both")
     if config is None:

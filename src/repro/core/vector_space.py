@@ -30,12 +30,14 @@ import numpy as np
 
 from .._rng import SeedLike
 from ..errors import ConfigurationError
-from ..graph import Graph, adjacency_with_index
+from ..graph import Graph, adjacency_with_index, compile_graph
+from ..graph.csr import CompiledGraph
 from .spectral import lambda_min
 
 __all__ = [
     "MAX_C_MARGIN",
     "admissible_c",
+    "shared_admissible_c",
     "phi",
     "VirtualVectorRepresentation",
 ]
@@ -46,6 +48,14 @@ Node = Hashable
 #: exactly at 1 (complete graphs, single edges: ``lambda_min = -1``) we
 #: step inside the open interval by this margin.
 MAX_C_MARGIN = 1e-9
+
+#: Fixed seed for the power-method start vectors behind
+#: :func:`shared_admissible_c`.  Any start vector converges to the same
+#: eigenvalue (within tolerance); pinning it makes the resolved ``c`` a
+#: pure function of ``(graph, tol, max_iterations)`` — the property that
+#: lets one cached value serve every caller, every user seed, and every
+#: entry point while keeping covers byte-identical between them.
+SPECTRAL_SEED = 0x5EED
 
 
 def admissible_c(
@@ -76,6 +86,45 @@ def admissible_c(
         return 0.0
     c = -1.0 / smallest
     return min(c, 1.0 - MAX_C_MARGIN)
+
+
+def shared_admissible_c(
+    graph,
+    tol: float = 1e-6,
+    max_iterations: int = 10000,
+) -> "tuple[float, bool]":
+    """The admissible ``c``, cached on the graph's compiled form.
+
+    Returns ``(c, cache_hit)``.  The value is resolved with the fixed
+    :data:`SPECTRAL_SEED` start vector, so it depends only on the graph
+    and the tolerance parameters — never on the caller's RNG — and is
+    therefore safe to share across repeated detections, worker
+    processes (the cache pickles with the compiled graph), and the
+    session serving layer.  Any graph mutation invalidates the compiled
+    form and with it the cached spectrum.
+
+    Accepts a :class:`~repro.graph.Graph` (compiled on first use, which
+    every CSR-representation run pays anyway) or a
+    :class:`~repro.graph.CompiledGraph`.  Exotic read-only backends fall
+    through to an uncached :func:`admissible_c` call.
+    """
+    if isinstance(graph, CompiledGraph):
+        compiled: Optional[CompiledGraph] = graph
+    elif isinstance(graph, Graph):
+        compiled = compile_graph(graph)
+    else:
+        compiled = None
+    key = ("admissible_c", tol, max_iterations)
+    if compiled is not None:
+        cached = compiled.spectral_cache.get(key)
+        if cached is not None:
+            return cached, True
+    c = admissible_c(
+        graph, tol=tol, max_iterations=max_iterations, seed=SPECTRAL_SEED
+    )
+    if compiled is not None:
+        compiled.spectral_cache[key] = c
+    return c, False
 
 
 def phi(graph: Graph, members: AbstractSet[Node], c: float) -> float:

@@ -1,0 +1,174 @@
+"""The uniform detection contract: one request shape, one result shape.
+
+The paper's evaluation runs four algorithms — OCA, LFK, and CFinder's
+k-clique percolation (CPM) — over the same graphs many times.  Before
+this module each exposed its own call shape (``oca`` returned an
+``OCAResult``, the baselines returned bare covers or their own result
+types, and the experiment harness hand-wired adapters).  The detector
+API normalises all of them behind two small value types:
+
+:class:`DetectionRequest`
+    What to run on: a graph (mutable :class:`~repro.graph.Graph` or
+    immutable :class:`~repro.graph.CompiledGraph`), a seed, a free-form
+    ``params`` mapping forwarded to the algorithm, and the execution
+    knobs (``workers`` / ``backend`` / ``batch_size`` /
+    ``representation``) for algorithms that support them.
+
+:class:`DetectionResult`
+    What every algorithm hands back: the cover, a ``stats`` mapping of
+    algorithm-specific diagnostics (including the cache hit/miss
+    accounting the serving layer relies on), wall-clock timing, and an
+    echo of the algorithm name and parameters that produced it.
+    :class:`~repro.core.oca.OCAResult` is a subtype, so OCA callers keep
+    their richer fields while generic callers treat every algorithm
+    uniformly.
+
+The registry that maps names to algorithms and the session layer that
+amortises per-graph work live in :mod:`repro.detectors`; this module is
+deliberately dependency-light (graph + communities only) so the core
+algorithm modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ._rng import SeedLike
+from .communities import Cover
+from .graph.csr import CompiledGraph
+
+__all__ = [
+    "DetectionRequest",
+    "DetectionResult",
+    "normalized_graph",
+    "translate_cover",
+]
+
+
+@dataclass
+class DetectionRequest:
+    """One community-detection invocation, algorithm-agnostic.
+
+    Attributes
+    ----------
+    graph:
+        A :class:`~repro.graph.Graph` or a
+        :class:`~repro.graph.CompiledGraph`.  Compiled input runs in
+        dense-id space and the resulting cover is translated back to the
+        original labels, so the two forms are interchangeable — covers
+        are byte-identical either way.
+    seed:
+        The usual :data:`~repro._rng.SeedLike`; ``None`` means fresh
+        entropy.
+    params:
+        Algorithm-specific keyword parameters (e.g. ``alpha`` for LFK,
+        ``k`` for CPM, any :class:`~repro.core.config.OCAConfig` field —
+        or a full ``config`` object — for OCA).  Echoed back on the
+        result.
+    workers / backend / batch_size / representation:
+        Execution-engine knobs, honoured by algorithms that support them
+        (currently OCA) and ignored by the inherently sequential
+        baselines.
+    engine:
+        Optional pre-built :class:`~repro.engine.ExecutionEngine` that
+        the algorithm should run on instead of constructing its own —
+        the hook :class:`~repro.detectors.GraphSession` uses to keep one
+        warm worker pool alive across calls.  Advisory: an engine whose
+        settings conflict with the resolved algorithm configuration is
+        ignored in favour of one that honours the config (the config
+        determines the cover).  Typed loosely to keep this module
+        import-light.
+    """
+
+    graph: Any
+    seed: SeedLike = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    workers: int = 1
+    backend: str = "auto"
+    batch_size: Optional[int] = None
+    representation: str = "auto"
+    engine: Optional[Any] = None
+
+
+@dataclass
+class DetectionResult:
+    """What any registered detector returns.
+
+    Attributes
+    ----------
+    cover:
+        The community structure found, in the label space of the request
+        graph (dense ids are translated back for compiled input).
+    algorithm:
+        Registry name of the detector that produced this result.
+    params:
+        Echo of the request parameters, for provenance.
+    stats:
+        Algorithm-specific diagnostics plus the shared serving-layer
+        accounting: ``c_source`` (``cache`` / ``power_method`` /
+        ``config`` for OCA), ``compiled_reused``, ``engine_pool``.
+    elapsed_seconds:
+        Wall-clock duration of the detect call.
+    """
+
+    cover: Cover = field(default_factory=Cover)
+    algorithm: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"DetectionResult(algorithm={self.algorithm!r}, "
+            f"communities={len(self.cover)}, "
+            f"elapsed={self.elapsed_seconds:.3f}s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Graph-form normalisation
+# ----------------------------------------------------------------------
+def normalized_graph(graph: Any) -> Tuple[Any, Optional[CompiledGraph]]:
+    """Resolve a request graph to the form the algorithms run on.
+
+    Returns ``(run_graph, source)`` where ``source`` is the compiled
+    graph whose label table translates covers back to the caller's
+    space, or ``None`` when no translation is needed:
+
+    * a :class:`Graph` runs as-is (algorithms are label-keyed);
+    * a :class:`CompiledGraph` with identity labels runs as-is (ids are
+      the labels);
+    * a :class:`CompiledGraph` with original labels runs through its
+      identity-labelled view — the algorithms see dense ids, and the
+      returned ``source`` maps them back.
+    """
+    if isinstance(graph, CompiledGraph) and not graph.identity_labels:
+        return graph.as_identity(), graph
+    return graph, None
+
+
+def translate_cover(cover: Cover, source: Optional[CompiledGraph]) -> Cover:
+    """Map a dense-id cover back to original labels (no-op for ``None``)."""
+    if source is None:
+        return cover
+    return Cover(source.labels_of(community) for community in cover)
+
+
+def _warn_legacy(name: str, replacement: str) -> None:
+    """Emit the compat-wrapper deprecation, attributed to the caller.
+
+    ``stacklevel=3`` skips this helper and the wrapper itself, so the
+    warning lands on the module that called the wrapper.  The tier-1
+    pytest configuration escalates DeprecationWarnings originating from
+    ``repro.*`` into errors, which is what keeps internal code off the
+    legacy entry points; external callers see a default-ignored
+    DeprecationWarning.
+    """
+    warnings.warn(
+        f"{name} is a legacy compatibility wrapper; use {replacement} "
+        "(see the Detector API section of the README)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,201 @@
+"""The four built-in detectors: OCA and the paper's baselines.
+
+Each class adapts one algorithm to the uniform
+:class:`~repro.detection.DetectionRequest` /
+:class:`~repro.detection.DetectionResult` contract:
+
+* ``oca`` — the paper's algorithm, on the parallel execution engine;
+* ``lfk`` — local fitness optimisation (ref. [8]);
+* ``cfinder`` — k-clique percolation with the paper's parameterisation
+  (``k = 3``, faithful quadratic clique-overlap discovery);
+* ``cpm`` — the same percolation with the full parameter surface
+  (``k``, ``faithful_overlap``) exposed.
+
+All four accept either graph form — covers from compiled input are
+translated back to original labels and are byte-identical to what the
+legacy entry points return for the same seed.  The shared plumbing
+(normalisation, translation, echo, timing) lives in
+:class:`DetectorBase`; new algorithms subclass it, implement ``_detect``
+and register with :func:`~repro.detectors.register_detector`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict
+
+from ..baselines.cpm import clique_percolation
+from ..baselines.lfk import _lfk
+from ..core.config import OCAConfig
+from ..core.oca import OCA
+from ..detection import (
+    DetectionRequest,
+    DetectionResult,
+    normalized_graph,
+    translate_cover,
+)
+from ..errors import AlgorithmError
+from .registry import register_detector
+
+__all__ = [
+    "DetectorBase",
+    "OCADetector",
+    "LFKDetector",
+    "CFinderDetector",
+    "CPMDetector",
+]
+
+
+def _take(params: Dict[str, Any], name: str, default: Any) -> Any:
+    """Pop ``name`` from a params copy, falling back to ``default``."""
+    return params.pop(name) if name in params else default
+
+
+class DetectorBase:
+    """Shared request/response plumbing for registered detectors.
+
+    Subclasses implement :meth:`_detect` against a normalised graph
+    (always label-keyed from the algorithm's point of view — compiled
+    input arrives as its identity-labelled view) and return any
+    :class:`DetectionResult`; this base translates covers back to the
+    caller's label space, stamps the algorithm name, echoes the request
+    parameters, and times the whole call.
+    """
+
+    name: str = ""
+
+    def detect(self, request: DetectionRequest) -> DetectionResult:
+        start = time.perf_counter()
+        run_graph, source = normalized_graph(request.graph)
+        result = self._detect(run_graph, request)
+        if source is not None:
+            result.cover = translate_cover(result.cover, source)
+            self._translate_extras(result, source)
+        result.algorithm = self.name
+        result.params = dict(request.params)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # -- hooks ---------------------------------------------------------
+    def _detect(self, graph, request: DetectionRequest) -> DetectionResult:
+        raise NotImplementedError
+
+    def _translate_extras(self, result: DetectionResult, source) -> None:
+        """Translate algorithm-specific id-space fields (default: none)."""
+
+    def _reject_unknown(self, params: Dict[str, Any]) -> None:
+        if params:
+            unknown = ", ".join(sorted(params))
+            raise AlgorithmError(
+                f"unknown parameter(s) for {self.name!r}: {unknown}"
+            )
+
+
+@register_detector("oca")
+class OCADetector(DetectorBase):
+    """The paper's algorithm behind the uniform contract.
+
+    ``params`` accepts any :class:`~repro.core.config.OCAConfig` field,
+    or a complete config object under the key ``config``.  The request's
+    engine knobs (``workers`` / ``backend`` / ``batch_size`` /
+    ``representation``) seed the config defaults; a supplied
+    ``request.engine`` (the session's persistent pool) is used only when
+    it matches the resolved config's engine knobs — a mismatch (e.g. a
+    per-call ``batch_size`` override) falls back to an ephemeral engine
+    so the config, which determines the cover, always wins.
+    """
+
+    name = "oca"
+
+    def _detect(self, graph, request: DetectionRequest) -> DetectionResult:
+        params = dict(request.params)
+        config = params.pop("config", None)
+        if config is not None:
+            if params:
+                raise AlgorithmError(
+                    "pass either a config object or individual OCA "
+                    "parameters, not both"
+                )
+        else:
+            valid = {field.name for field in dataclasses.fields(OCAConfig)}
+            unknown = {name: value for name, value in params.items() if name not in valid}
+            if unknown:
+                self._reject_unknown(unknown)
+            merged: Dict[str, Any] = {
+                "workers": request.workers,
+                "backend": request.backend,
+                "batch_size": request.batch_size,
+                "representation": request.representation,
+            }
+            merged.update(params)
+            config = OCAConfig(**merged)
+        return OCA(config).run(graph, seed=request.seed, engine=request.engine)
+
+    def _translate_extras(self, result, source) -> None:
+        result.raw_cover = translate_cover(result.raw_cover, source)
+
+
+@register_detector("lfk")
+class LFKDetector(DetectorBase):
+    """LFK local fitness optimisation (inherently sequential).
+
+    ``params``: ``alpha`` (resolution, default 1.0) and
+    ``max_steps_per_community``.  The engine knobs are ignored.
+    """
+
+    name = "lfk"
+
+    def _detect(self, graph, request: DetectionRequest) -> DetectionResult:
+        params = dict(request.params)
+        alpha = _take(params, "alpha", 1.0)
+        max_steps = _take(params, "max_steps_per_community", None)
+        self._reject_unknown(params)
+        outcome = _lfk(
+            graph,
+            alpha=alpha,
+            seed=request.seed,
+            max_steps_per_community=max_steps,
+        )
+        return DetectionResult(
+            cover=outcome.cover,
+            stats={
+                "alpha": outcome.alpha,
+                "natural_communities": outcome.natural_communities,
+            },
+        )
+
+
+@register_detector("cpm")
+class CPMDetector(DetectorBase):
+    """k-clique percolation with the full parameter surface.
+
+    ``params``: ``k`` (default 3) and ``faithful_overlap`` (default
+    ``True``, the published quadratic clique-overlap scan).  The seed is
+    ignored — percolation is deterministic.
+    """
+
+    name = "cpm"
+
+    def _detect(self, graph, request: DetectionRequest) -> DetectionResult:
+        params = dict(request.params)
+        k = _take(params, "k", 3)
+        faithful = _take(params, "faithful_overlap", True)
+        self._reject_unknown(params)
+        outcome = clique_percolation(graph, k=k, faithful_overlap=faithful)
+        return DetectionResult(
+            cover=outcome.cover,
+            stats={"k": outcome.k, "maximal_cliques": outcome.maximal_cliques},
+        )
+
+
+@register_detector("cfinder")
+class CFinderDetector(CPMDetector):
+    """CFinder as the paper ran it: CPM at ``k = 3``.
+
+    Identical implementation to :class:`CPMDetector`; registered
+    separately so experiment code can name the baseline the way the
+    figures label it while parameter sweeps use ``cpm``.
+    """
+
+    name = "cfinder"

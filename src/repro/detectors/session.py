@@ -1,0 +1,215 @@
+"""GraphSession: the serving layer for repeat detection traffic.
+
+The ROADMAP's north star is serving heavy repeat traffic over shared
+graphs.  The expensive per-graph artifacts — the compiled CSR form, the
+spectral ``c`` (the power method dominates cold runs: ~3.3 s vs ~0.23 s
+engine loop at n = 6000, see BENCH_csr.json), and a warm worker pool —
+must therefore live in a reusable object rather than being rebuilt
+inside every top-level call.  That object is :class:`GraphSession`::
+
+    with GraphSession(graph, workers=4, batch_size=32) as session:
+        for seed in range(100):
+            result = session.detect("oca", seed=seed)
+
+The first call pays graph compilation, the power method, and pool
+startup; calls 2..N reuse all three (asserted by the session tests and
+measured by ``benchmarks/bench_session.py``).  Covers are byte-identical
+to one-shot registry calls and to the legacy entry points for the same
+seeds — the session changes wall-clock time, never results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .._rng import SeedLike
+from ..detection import DetectionRequest, DetectionResult
+from ..engine.engine import ExecutionEngine
+from ..errors import AlgorithmError
+from ..graph import Graph
+from ..graph.csr import CompiledGraph, compile_graph
+from .registry import get_detector
+
+__all__ = ["SessionStats", "GraphSession"]
+
+
+@dataclass
+class SessionStats:
+    """Aggregate accounting of one session's serving behaviour.
+
+    Attributes
+    ----------
+    nodes / edges:
+        Size of the bound graph.
+    detect_calls:
+        Total :meth:`GraphSession.detect` invocations.
+    by_algorithm:
+        Call counts per registry key.
+    power_method_runs / spectral_cache_hits:
+        How often the spectral ``c`` was computed vs served from the
+        compiled graph's cache (``config``-supplied values count as
+        neither).
+    pool_reuses:
+        Detect calls that ran on the already-warm persistent worker
+        pool instead of starting one.
+    detect_seconds:
+        Wall-clock summed over all detect calls.
+    """
+
+    nodes: int = 0
+    edges: int = 0
+    detect_calls: int = 0
+    by_algorithm: Dict[str, int] = field(default_factory=dict)
+    power_method_runs: int = 0
+    spectral_cache_hits: int = 0
+    pool_reuses: int = 0
+    detect_seconds: float = 0.0
+
+    def record(self, result: DetectionResult) -> None:
+        """Fold one detect result into the aggregate."""
+        self.detect_calls += 1
+        self.by_algorithm[result.algorithm] = (
+            self.by_algorithm.get(result.algorithm, 0) + 1
+        )
+        self.detect_seconds += result.elapsed_seconds
+        c_source = result.stats.get("c_source")
+        if c_source == "power_method":
+            self.power_method_runs += 1
+        elif c_source == "cache":
+            self.spectral_cache_hits += 1
+        if result.stats.get("engine_pool") == "reused":
+            self.pool_reuses += 1
+
+
+class GraphSession:
+    """One graph, bound once, served many times.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve — a :class:`~repro.graph.Graph` (compiled
+        here, once) or an already-compiled
+        :class:`~repro.graph.CompiledGraph`.
+    workers / backend / batch_size / representation:
+        Default execution configuration for every :meth:`detect` call;
+        individual calls may override algorithm parameters but share the
+        session's worker pool.
+
+    The session is a context manager; :meth:`close` releases the
+    persistent worker pool.  Detection through a closed session raises.
+
+    Notes
+    -----
+    The bound graph must not be mutated while the session is open: the
+    compiled form, the cached spectrum, and the shipped worker contexts
+    all describe the graph as it was at binding time.  (Mutation drops
+    the graph's own compiled cache, so subsequent sessions see the new
+    structure — but an open session would keep serving the old one.)
+    """
+
+    def __init__(
+        self,
+        graph,
+        workers: int = 1,
+        backend: str = "auto",
+        batch_size: Optional[int] = None,
+        representation: str = "auto",
+    ) -> None:
+        if not isinstance(graph, (Graph, CompiledGraph)):
+            raise AlgorithmError(
+                "GraphSession binds a Graph or CompiledGraph, "
+                f"got {type(graph).__name__}"
+            )
+        self._graph = graph
+        # Compile exactly once, up front: every CSR-representation
+        # detect, every spectral resolution, and every worker payload
+        # reuses this object.
+        self._compiled = compile_graph(graph)
+        self.workers = workers
+        self.backend = backend
+        self.batch_size = batch_size
+        self.representation = representation
+        self._engine = ExecutionEngine(
+            backend=backend,
+            workers=workers,
+            batch_size=batch_size,
+            persistent=True,
+        )
+        self._stats = SessionStats(
+            nodes=self._compiled.number_of_nodes(),
+            edges=self._compiled.number_of_edges(),
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The bound graph, exactly as passed in."""
+        return self._graph
+
+    @property
+    def compiled(self) -> CompiledGraph:
+        """The session's shared compiled form."""
+        return self._compiled
+
+    @property
+    def stats(self) -> SessionStats:
+        """Serving statistics accumulated so far."""
+        return self._stats
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        algorithm: str = "oca",
+        seed: SeedLike = None,
+        **params: Any,
+    ) -> DetectionResult:
+        """Run ``algorithm`` on the bound graph.
+
+        ``params`` are forwarded to the detector (see
+        :mod:`repro.detectors.builtin` for each algorithm's surface).
+        Returns the detector's :class:`~repro.detection.DetectionResult`
+        and folds its accounting into :attr:`stats`.
+        """
+        if self._closed:
+            raise AlgorithmError("cannot detect through a closed GraphSession")
+        detector = get_detector(algorithm)
+        request = DetectionRequest(
+            graph=self._graph,
+            seed=seed,
+            params=params,
+            workers=self.workers,
+            backend=self.backend,
+            batch_size=self.batch_size,
+            representation=self.representation,
+            engine=self._engine,
+        )
+        result = detector.detect(request)
+        self._stats.record(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent worker pool; idempotent."""
+        if not self._closed:
+            self._engine.close()
+            self._closed = True
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"GraphSession(n={self._stats.nodes}, m={self._stats.edges}, "
+            f"calls={self._stats.detect_calls}, {state})"
+        )

@@ -83,6 +83,14 @@ class ExecutionEngine:
         the result's deterministic identity; see the module docstring.
     progress:
         Optional per-batch callback (see :mod:`repro.engine.progress`).
+    persistent:
+        When true, the worker pool created for a run is kept open and
+        reused by subsequent runs whose shared context is compatible
+        (same graph object, equal fitness and step budget) — the mode
+        :class:`~repro.detectors.GraphSession` uses so a detect loop
+        pays pool startup and context shipping exactly once.  The owner
+        must call :meth:`close` (or use the engine as a context
+        manager); non-persistent engines keep the old per-run lifecycle.
     """
 
     def __init__(
@@ -91,11 +99,48 @@ class ExecutionEngine:
         workers: int = 1,
         batch_size: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
+        persistent: bool = False,
     ) -> None:
         self.backend = backend
         self.workers = workers
         self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
         self.progress = progress
+        self.persistent = persistent
+        self._pool = None
+        self._pool_context: Optional[WorkerContext] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _context_compatible(
+        cached: Optional[WorkerContext], context: WorkerContext
+    ) -> bool:
+        """Whether a pool initialised with ``cached`` can run ``context``.
+
+        Graph forms must be the *same object* (workers hold a shipped
+        copy of exactly that structure); fitness and step budget compare
+        by value (the fitness classes are frozen dataclasses).
+        """
+        if cached is None:
+            return False
+        return (
+            cached.compiled is context.compiled
+            and cached.graph is context.graph
+            and cached.fitness == context.fitness
+            and cached.max_growth_steps == context.max_growth_steps
+        )
+
+    def close(self) -> None:
+        """Release the persistent worker pool, if one is open."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_context = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(
@@ -161,17 +206,30 @@ class ExecutionEngine:
                 graph=graph,
                 rank={node: i for i, node in enumerate(graph.nodes())},
             )
-        backend = make_backend(
-            self.backend,
-            self.workers,
-            initializer=initialize_worker,
-            initargs=(context,),
-        )
+        reused = False
+        if self.persistent and self._context_compatible(self._pool_context, context):
+            backend = self._pool
+            # The pool's workers hold the previously shipped context; it
+            # is value-equal to this run's, so results are identical.
+            context = self._pool_context
+            reused = True
+        else:
+            self.close()  # drop an incompatible persistent pool, if any
+            backend = make_backend(
+                self.backend,
+                self.workers,
+                initializer=initialize_worker,
+                initargs=(context,),
+            )
+            if self.persistent:
+                self._pool = backend
+                self._pool_context = context
         stats = EngineStats(
             backend=resolve_backend_name(self.backend, backend.workers),
             workers=backend.workers,
             batch_size=self.batch_size,
             representation="csr" if compiled is not None else "dict",
+            pool_reused=reused,
         )
         if backend.uses_processes:
             # Only the tiny task objects cross the pipe; the context was
@@ -224,7 +282,8 @@ class ExecutionEngine:
                 if stopped:
                     break
         finally:
-            backend.close()
+            if not self.persistent:
+                backend.close()
 
         return EngineOutcome(
             found=reducer.found,

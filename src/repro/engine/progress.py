@@ -46,6 +46,10 @@ class EngineStats:
     backend / workers / batch_size / representation:
         The execution configuration actually used (after ``auto``
         resolution and defaulting).
+    pool_reused:
+        Whether the run reused a persistent worker pool warmed by an
+        earlier run (see ``ExecutionEngine(persistent=True)``) instead
+        of creating and initialising a fresh one.
     batches:
         Batches dispatched.
     tasks_dispatched / tasks_folded / tasks_discarded:
@@ -63,6 +67,7 @@ class EngineStats:
     workers: int = 1
     batch_size: int = 1
     representation: str = "dict"
+    pool_reused: bool = False
     batches: int = 0
     tasks_dispatched: int = 0
     tasks_folded: int = 0

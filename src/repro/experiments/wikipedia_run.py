@@ -16,7 +16,9 @@ from typing import Optional
 
 from .._rng import SeedLike, as_random, spawn_seed
 from ..communities import overlap_statistics, theta
-from ..core import OCAConfig, StagnationHalting, oca
+from ..core import OCAConfig, StagnationHalting
+from ..detection import DetectionRequest
+from ..detectors import get_detector
 from ..generators import WikipediaParams, wikipedia_like_graph
 
 __all__ = ["WikipediaRunResult", "run_wikipedia"]
@@ -71,7 +73,13 @@ def run_wikipedia(
         merge_threshold=0.75,
         assign_orphans=False,
     )
-    result = oca(instance.graph, seed=spawn_seed(rng), config=config)
+    result = get_detector("oca").detect(
+        DetectionRequest(
+            graph=instance.graph,
+            seed=spawn_seed(rng),
+            params={"config": config},
+        )
+    )
     quality = (
         theta(instance.topics, result.cover) if len(result.cover) else 0.0
     )

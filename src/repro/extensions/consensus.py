@@ -25,7 +25,8 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from .._rng import SeedLike, as_random, spawn_seed
 from ..communities import Cover, theta
-from ..core import OCAConfig, oca
+from ..core import OCAConfig
+from ..detectors import GraphSession
 from ..errors import CommunityError
 from ..graph import Graph
 
@@ -175,13 +176,20 @@ def consensus_oca(
     consensus keeps node pairs co-assigned in at least ``threshold`` of
     the runs.  The per-run covers and the stability diagnostic ride
     along in the result.
+
+    The runs share one :class:`~repro.detectors.GraphSession`, so graph
+    compilation and the spectral ``c`` are paid once for all of them —
+    consensus is exactly the repeated-detection workload the session
+    layer exists for.
     """
     if runs < 1:
         raise CommunityError(f"runs must be >= 1, got {runs}")
     rng = as_random(seed)
-    covers = [
-        oca(graph, seed=spawn_seed(rng), config=config).cover for _ in range(runs)
-    ]
+    with GraphSession(graph) as session:
+        covers = [
+            session.detect("oca", seed=spawn_seed(rng), config=config).cover
+            for _ in range(runs)
+        ]
     stability = cover_stability(covers) if runs >= 2 else 1.0
     return ConsensusResult(
         cover=consensus_cover(covers, threshold=threshold),

@@ -26,7 +26,9 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .._rng import SeedLike, as_random, spawn_seed
 from ..communities import Cover
-from ..core import OCAConfig, admissible_c, oca
+from ..core import OCAConfig
+from ..detection import DetectionRequest
+from ..detectors import get_detector
 from ..errors import CommunityError
 from ..graph import Graph
 
@@ -153,7 +155,12 @@ def hierarchical_oca(
     if levels < 1:
         raise CommunityError(f"levels must be >= 1, got {levels}")
     rng = as_random(seed)
-    base = oca(graph, seed=spawn_seed(rng), config=config)
+    oca_detector = get_detector("oca")
+    base = oca_detector.detect(
+        DetectionRequest(
+            graph=graph, seed=spawn_seed(rng), params={"config": config}
+        )
+    )
     hierarchy: List[HierarchyLevel] = [HierarchyLevel(level=0, cover=base.cover)]
     current = base.cover
     for level in range(1, levels):
@@ -163,7 +170,11 @@ def hierarchical_oca(
         if meta.number_of_edges() == 0:
             break
         meta_config = OCAConfig(min_community_size=1, assign_orphans=True)
-        meta_result = oca(meta, seed=spawn_seed(rng), config=meta_config)
+        meta_result = oca_detector.detect(
+            DetectionRequest(
+                graph=meta, seed=spawn_seed(rng), params={"config": meta_config}
+            )
+        )
         merged: List[set] = []
         for meta_community in meta_result.cover:
             union: set = set()

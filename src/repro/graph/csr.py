@@ -104,7 +104,16 @@ class CompiledGraph:
     identity and costs nothing (``identity_labels``).
     """
 
-    __slots__ = ("indptr", "indices", "degrees", "_labels", "_index", "_num_edges")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "degrees",
+        "_labels",
+        "_index",
+        "_num_edges",
+        "spectral_cache",
+        "_identity",
+    )
 
     def __init__(
         self,
@@ -119,6 +128,12 @@ class CompiledGraph:
         self._labels = labels  # None == identity labels (0..n-1)
         self._index: Optional[Dict[Node, int]] = None
         self._num_edges = len(indices) // 2
+        # Spectral results keyed by their tolerance parameters (see
+        # repro.core.vector_space.shared_admissible_c).  Living on the
+        # compiled form gives the cache the same lifetime: any graph
+        # mutation drops the compiled form and the cached values with it.
+        self.spectral_cache: Dict[tuple, float] = {}
+        self._identity: Optional["CompiledGraph"] = None
 
     # ------------------------------------------------------------------
     # Graph protocol (integer-id keyed)
@@ -220,6 +235,25 @@ class CompiledGraph:
         labels = self._labels
         return [labels[node_id] for node_id in ids]
 
+    def as_identity(self) -> "CompiledGraph":
+        """This graph with labels erased to the dense ids ``0..n-1``.
+
+        The identity view shares the CSR arrays (no copy) and is cached
+        on the instance, so detectors that run non-integer-labelled
+        compiled graphs in id space keep hitting one object — and the
+        spectral cache that lives on it — across calls.
+        """
+        if self._labels is None:
+            return self
+        if self._identity is None:
+            self._identity = CompiledGraph(
+                indptr=self.indptr,
+                indices=self.indices,
+                degrees=self.degrees,
+                labels=None,
+            )
+        return self._identity
+
     # ------------------------------------------------------------------
     def nbytes(self) -> int:
         """Memory footprint of the three CSR arrays, in bytes."""
@@ -228,17 +262,34 @@ class CompiledGraph:
     def __getstate__(self):
         # The label->id index is derived state: rebuilt lazily on first
         # use, never shipped, keeping worker payloads to the arrays plus
-        # (for non-integer-labelled graphs) the label list.
-        return (self.indptr, self.indices, self.degrees, self._labels)
+        # (for non-integer-labelled graphs) the label list.  The spectral
+        # cache *does* travel — a handful of floats that save every
+        # receiving worker a full power-method run.
+        return (
+            self.indptr,
+            self.indices,
+            self.degrees,
+            self._labels,
+            dict(self.spectral_cache),
+        )
 
     def __setstate__(self, state) -> None:
-        self.indptr, self.indices, self.degrees, self._labels = state
+        if len(state) == 4:  # pickles from before the spectral cache
+            state = (*state, {})
+        (
+            self.indptr,
+            self.indices,
+            self.degrees,
+            self._labels,
+            self.spectral_cache,
+        ) = state
         # numpy does not preserve the WRITEABLE flag across pickling;
         # re-lock so unpickled copies keep the immutability guarantee.
         for array in (self.indptr, self.indices, self.degrees):
             array.setflags(write=False)
         self._index = None
         self._num_edges = len(self.indices) // 2
+        self._identity = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CompiledGraph):
