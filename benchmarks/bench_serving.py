@@ -1,0 +1,323 @@
+"""Multi-graph serving: cold-per-request vs warm manager vs queued.
+
+The serving subsystem (ISSUE 4) exists so that steady-state traffic
+over a *set* of graphs never re-pays per-graph setup: the
+:class:`~repro.serving.SessionManager` keeps one warm
+:class:`~repro.detectors.GraphSession` per resident graph, and the
+:class:`~repro.serving.ServingQueue` dispatches requests onto those
+sessions asynchronously.  This bench measures exactly that contract on
+the established LFR family and seeds (bench_csr / bench_session):
+
+* **cold baseline** — every request binds a fresh session on a fresh
+  graph object (compile + spectral solve + pool start each time): the
+  per-request cost a process without the serving layer pays;
+* **warm manager** — the same requests through one pre-warmed
+  ``SessionManager`` (round-robin over the graph set, all hits);
+* **queued** — the same requests submitted concurrently through a
+  ``ServingQueue`` over the warm manager;
+* **lanczos** — the satellite: cold detect with
+  ``spectral_solver="lanczos"`` vs the power method, the cold-start
+  cost the alternative solver removes.
+
+It also re-verifies the serving contract end to end: manager-served
+covers must be byte-identical to direct ``GraphSession`` covers for
+the same seeds.
+
+Also runnable standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py              # full sweep
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke      # CI-sized
+
+The full sweep (n in {2000, 6000, 20000}) writes machine-readable
+results to ``BENCH_serving.json`` at the repository root — the same
+record format as BENCH_csr.json / BENCH_session.json, so the perf
+trajectory stays comparable across PRs; ``--smoke`` runs one small
+size and writes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro import GraphSession, SessionManager, ServingQueue
+from repro.generators import LFRParams, lfr_graph
+
+#: Same sizes as bench_csr / bench_session (the benchmark trajectory).
+FULL_SIZES = (2000, 6000, 20000)
+SMOKE_SIZES = (300,)
+
+#: Distinct graphs per size (the "multi-graph" in multi-graph serving).
+GRAPHS = 3
+
+#: Warm requests per graph (cold baseline uses one request per graph).
+REQUESTS_PER_GRAPH = 4
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_graph(n: int, seed: int):
+    """The bench_csr LFR family: dense communities, heavy tasks."""
+    params = LFRParams(
+        n=n,
+        mu=0.3,
+        average_degree=min(40.0, max(8.0, n / 25)),
+        max_degree=min(100, max(20, n // 10)),
+        min_community=min(60, max(10, n // 20)),
+        max_community=min(120, max(20, n // 10)),
+    )
+    return lfr_graph(params, seed=seed).graph
+
+
+@dataclass
+class SizeResult:
+    """Every measurement for one graph size."""
+
+    n: int
+    m_total: int
+    graphs: int
+    requests: int
+    cold_request_seconds: float
+    warm_request_seconds: float
+    queued_request_seconds: float
+    warm_throughput_rps: float
+    queued_throughput_rps: float
+    warm_vs_cold_speedup: float
+    spectral_power_seconds: float
+    spectral_lanczos_seconds: float
+    lanczos_cold_detect_seconds: float
+    power_cold_detect_seconds: float
+    lanczos_cold_speedup: float
+    manager_hits: int
+    manager_misses: int
+    covers_match_direct: bool
+
+
+def _cold_detect_seconds(graph, seed: int, solver: str = "power") -> float:
+    """One fully cold detect: fresh graph object, fresh session."""
+    clone = graph.copy()  # drops the compiled/spectral caches
+    start = time.perf_counter()
+    with GraphSession(clone) as session:
+        session.detect("oca", seed=seed, spectral_solver=solver)
+    return time.perf_counter() - start
+
+
+def _spectral_seconds(graph, solver: str) -> float:
+    """One cold admissible-c resolution with the given solver."""
+    from repro.core import admissible_c
+
+    clone = graph.copy()
+    start = time.perf_counter()
+    admissible_c(clone, solver=solver)
+    return time.perf_counter() - start
+
+
+def measure_size(n: int, seed: int, echo=print) -> SizeResult:
+    """Run the cold/warm/queued comparison for one graph size."""
+    graphs = [build_graph(n, seed + index) for index in range(GRAPHS)]
+    m_total = sum(graph.number_of_edges() for graph in graphs)
+    echo(f"-- LFR n={n} x{GRAPHS} graphs, m_total={m_total}")
+
+    # Cold-per-request baseline: every request pays full graph setup.
+    cold_times = [
+        _cold_detect_seconds(graph, seed=0) for graph in graphs
+    ]
+    cold_request_seconds = sum(cold_times) / len(cold_times)
+
+    # Warm manager: bind every graph once, then measure steady state.
+    requests = [
+        (graph, request_seed)
+        for request_seed in range(REQUESTS_PER_GRAPH)
+        for graph in graphs
+    ]
+    manager = SessionManager(max_sessions=GRAPHS)
+    for graph in graphs:
+        manager.detect(graph, "oca", seed=0)  # pre-warm (the cold binds)
+    start = time.perf_counter()
+    warm_results = [
+        manager.detect(graph, "oca", seed=request_seed)
+        for graph, request_seed in requests
+    ]
+    warm_wall = time.perf_counter() - start
+    warm_request_seconds = warm_wall / len(requests)
+
+    if any(not result.stats["session_hit"] for result in warm_results):
+        raise AssertionError(
+            f"serving contract violated at n={n}: a warm request missed"
+        )
+
+    # Queued: same requests, submitted asynchronously over the same
+    # warm manager (2 dispatch threads, generous depth).
+    with ServingQueue(manager, workers=2, max_depth=len(requests)) as queue:
+        start = time.perf_counter()
+        futures = [
+            queue.detect(graph, "oca", seed=request_seed)
+            for graph, request_seed in requests
+        ]
+        queued_results = [future.result() for future in futures]
+        queued_wall = time.perf_counter() - start
+    queued_request_seconds = queued_wall / len(requests)
+
+    # Contract check: served covers == direct session covers (fresh
+    # graph objects, so the manager's caches cannot have leaked in).
+    reference_graph = build_graph(n, seed)
+    with GraphSession(reference_graph) as session:
+        reference = session.detect("oca", seed=1)
+    served = next(
+        result
+        for (graph, request_seed), result in zip(requests, warm_results)
+        if graph is graphs[0] and request_seed == 1
+    )
+    covers_match = served.cover == reference.cover
+    queued_match = all(
+        q.cover == w.cover for q, w in zip(queued_results, warm_results)
+    )
+    stats = manager.stats
+    manager.close()
+
+    # Satellite: lanczos vs power, cold.
+    spectral_power = _spectral_seconds(graphs[0], "power")
+    spectral_lanczos = _spectral_seconds(graphs[0], "lanczos")
+    power_cold = cold_times[0]
+    lanczos_cold = _cold_detect_seconds(graphs[0], seed=0, solver="lanczos")
+
+    speedup = (
+        cold_request_seconds / warm_request_seconds
+        if warm_request_seconds
+        else float("inf")
+    )
+    echo(
+        f"   cold {cold_request_seconds:.3f}s/req | warm "
+        f"{warm_request_seconds:.3f}s/req (x{speedup:.2f}) | queued "
+        f"{queued_request_seconds:.3f}s/req | spectral power "
+        f"{spectral_power:.3f}s vs lanczos {spectral_lanczos:.3f}s | "
+        f"cold detect power {power_cold:.3f}s vs lanczos "
+        f"{lanczos_cold:.3f}s (x{power_cold / lanczos_cold:.2f}) | "
+        f"covers match: {covers_match and queued_match}"
+    )
+    if not (covers_match and queued_match):
+        raise AssertionError(
+            f"serving contract violated at n={n}: served covers differ "
+            "from direct GraphSession covers"
+        )
+    return SizeResult(
+        n=n,
+        m_total=m_total,
+        graphs=GRAPHS,
+        requests=len(requests),
+        cold_request_seconds=cold_request_seconds,
+        warm_request_seconds=warm_request_seconds,
+        queued_request_seconds=queued_request_seconds,
+        warm_throughput_rps=1.0 / warm_request_seconds,
+        queued_throughput_rps=1.0 / queued_request_seconds,
+        warm_vs_cold_speedup=speedup,
+        spectral_power_seconds=spectral_power,
+        spectral_lanczos_seconds=spectral_lanczos,
+        power_cold_detect_seconds=power_cold,
+        lanczos_cold_detect_seconds=lanczos_cold,
+        lanczos_cold_speedup=power_cold / lanczos_cold,
+        manager_hits=stats.hits,
+        manager_misses=stats.misses,
+        covers_match_direct=covers_match and queued_match,
+    )
+
+
+def run_bench(sizes=FULL_SIZES, seed: int = 2, echo=print) -> List[SizeResult]:
+    """Measure every size; returns the per-size results."""
+    echo(
+        f"multi-graph serving bench: sizes {list(sizes)}, {GRAPHS} graphs "
+        f"per size, {_available_cpus()} CPU(s)"
+    )
+    return [measure_size(n, seed=seed, echo=echo) for n in sizes]
+
+
+def write_json(results: List[SizeResult], path: Path = _JSON_PATH) -> None:
+    """Emit the machine-readable benchmark record (BENCH_csr.json format)."""
+    payload = {
+        "benchmark": "bench_serving",
+        "description": (
+            "Multi-graph serving: per-request cost of a cold session "
+            "bind (compile + spectral solve + pool start) vs warm "
+            "SessionManager hits vs queued-concurrent dispatch, plus "
+            "the lanczos vs power-method cold spectral resolution; "
+            "served covers byte-identical to direct GraphSession calls"
+        ),
+        "family": "lfr",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": _available_cpus(),
+        "unix_time": int(time.time()),
+        "results": [asdict(result) for result in results],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark wrapper
+# ----------------------------------------------------------------------
+def test_warm_serving_beats_cold_per_request(benchmark):
+    from conftest import run_once
+
+    lines: List[str] = []
+    results = run_once(benchmark, run_bench, sizes=(6000,), echo=lines.append)
+    print()
+    for line in lines:
+        print(line)
+    assert results[0].covers_match_direct
+    assert results[0].warm_vs_cold_speedup >= 3.0
+    assert results[0].lanczos_cold_speedup >= 1.0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small size, no JSON output (CI smoke check)",
+    )
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="override the size sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.sizes:
+        sizes = tuple(args.sizes)
+    else:
+        sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    results = run_bench(sizes=sizes, seed=args.seed)
+    if not args.smoke:
+        write_json(results)
+        print(f"wrote {_JSON_PATH}")
+    slow = [r for r in results if r.n >= 6000 and r.warm_vs_cold_speedup < 3.0]
+    if slow:
+        print(
+            "WARNING: warm serving speedup below the 3x acceptance bar at "
+            + ", ".join(f"n={r.n} (x{r.warm_vs_cold_speedup:.2f})" for r in slow),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,12 @@ The package implements:
   :class:`~repro.detectors.GraphSession` binds one graph and amortises
   its expensive artifacts (compiled CSR form, spectral ``c``, warm
   worker pool) across repeated detections;
+* a **multi-graph serving layer** (:mod:`repro.serving`):
+  :class:`~repro.serving.SessionManager` keeps a bounded LRU of warm
+  sessions keyed by content fingerprint,
+  :class:`~repro.serving.ServingQueue` adds bounded asynchronous
+  admission with backpressure, and ``repro-oca serve`` exposes both as
+  a JSONL request/response front-end;
 * the **benchmarks** of its evaluation — the LFR generator, the daisy /
   daisy-tree overlapping benchmark, and a Wikipedia-scale synthetic graph
   (:mod:`repro.generators`);
@@ -69,6 +75,9 @@ from .errors import (
     AlgorithmError,
     ConvergenceError,
     ConfigurationError,
+    ServingError,
+    SessionClosedError,
+    QueueFull,
 )
 from .graph import CompiledGraph, Graph, compile_graph
 from .communities import Community, Cover, Partition, rho, theta
@@ -84,8 +93,16 @@ from .detectors import (
     get_detector,
     register_detector,
 )
+from .serving import (
+    ManagerStats,
+    ServeRequest,
+    ServingQueue,
+    ServingService,
+    SessionManager,
+    graph_fingerprint,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -116,6 +133,15 @@ __all__ = [
     "available_detectors",
     "GraphSession",
     "SessionStats",
+    "ServingError",
+    "SessionClosedError",
+    "QueueFull",
+    "graph_fingerprint",
+    "SessionManager",
+    "ManagerStats",
+    "ServingQueue",
+    "ServeRequest",
+    "ServingService",
     "OCA",
     "OCAConfig",
     "OCAResult",

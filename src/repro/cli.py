@@ -9,6 +9,13 @@ Subcommands:
     detector registry, so downstream algorithms registered with
     :func:`repro.detectors.register_detector` are equally reachable from
     the experiment harness.
+``serve``
+    The multi-graph serving front-end: read JSONL detection requests
+    (stdin or a batch file), dispatch them through a
+    :class:`~repro.serving.SessionManager` + bounded
+    :class:`~repro.serving.ServingQueue`, and emit one JSON result per
+    request with latency and queue-depth annotations (see
+    :mod:`repro.serving.service` for both schemas).
 ``experiment``
     Regenerate one paper artefact (table1, figure2 .. figure6,
     wikipedia) and print its data table.
@@ -117,6 +124,85 @@ def build_parser() -> argparse.ArgumentParser:
             "allows it); the cover is identical either way"
         ),
     )
+    detect.add_argument(
+        "--spectral-solver",
+        choices=["power", "lanczos"],
+        default="power",
+        help=(
+            "how the admissible c is resolved on a spectral-cache miss: "
+            "the paper's power method (default) or scipy's Lanczos "
+            "(eigsh) — several times faster cold, identical within the "
+            "spectral tolerance"
+        ),
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "serve JSONL detection requests over many graphs through a "
+            "session manager and a bounded request queue"
+        ),
+    )
+    serve.add_argument(
+        "--requests",
+        default=None,
+        help="JSONL request file (default: read stdin until EOF)",
+    )
+    serve.add_argument(
+        "--output",
+        default=None,
+        help="write JSON responses here, one per line (default: stdout)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=4,
+        help="bounded LRU size: warm graph sessions kept resident",
+    )
+    serve.add_argument(
+        "--max-memory-mb",
+        type=float,
+        default=None,
+        help=(
+            "additional memory budget for resident sessions' compiled "
+            "arrays and label tables (LRU eviction while over)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-workers",
+        type=int,
+        default=2,
+        help="dispatch threads draining the request queue",
+    )
+    serve.add_argument(
+        "--max-depth",
+        type=int,
+        default=64,
+        help="bounded queue depth; submissions beyond it see backpressure",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="execution-engine workers per session",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["auto", "serial", "thread", "process"],
+        default="auto",
+        help="execution backend for every session's engine",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="engine batch size for every session (part of cover identity)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the end-of-batch summary line on stderr",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table or figure"
@@ -170,6 +256,7 @@ def _command_detect(args: argparse.Namespace) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
         representation=args.representation,
+        spectral_solver=args.spectral_solver,
     )
     if args.output:
         write_cover(run.cover, args.output)
@@ -180,6 +267,54 @@ def _command_detect(args: argparse.Namespace) -> int:
     else:
         write_cover(run.cover, sys.stdout)
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serving import serve_stream
+
+    max_memory_bytes = (
+        None
+        if args.max_memory_mb is None
+        else int(args.max_memory_mb * 1024 * 1024)
+    )
+
+    def run(input_stream, output_stream):
+        return serve_stream(
+            input_stream,
+            output_stream,
+            max_sessions=args.max_sessions,
+            max_memory_bytes=max_memory_bytes,
+            queue_workers=args.queue_workers,
+            max_depth=args.max_depth,
+            workers=args.workers,
+            backend=args.backend,
+            batch_size=args.batch_size,
+        )
+
+    if args.requests is not None:
+        with open(args.requests, "r", encoding="utf-8") as input_stream:
+            if args.output is not None:
+                with open(args.output, "w", encoding="utf-8") as output_stream:
+                    summary = run(input_stream, output_stream)
+            else:
+                summary = run(input_stream, sys.stdout)
+    else:
+        if args.output is not None:
+            with open(args.output, "w", encoding="utf-8") as output_stream:
+                summary = run(sys.stdin, output_stream)
+        else:
+            summary = run(sys.stdin, sys.stdout)
+    if not args.quiet:
+        print(
+            "served {requests} request(s): {ok} ok, {failed} failed | "
+            "sessions {sessions_resident} resident, {session_hits} hits / "
+            "{session_misses} misses / {evictions} evictions | "
+            "latency mean {mean_latency_seconds:.3f}s max "
+            "{max_latency_seconds:.3f}s | peak queue depth "
+            "{peak_queue_depth} | {wall_seconds:.3f}s wall".format(**summary),
+            file=sys.stderr,
+        )
+    return 0 if summary["failed"] == 0 else 1
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
@@ -243,6 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "detect": _command_detect,
+        "serve": _command_serve,
         "experiment": _command_experiment,
         "info": _command_info,
         "generate": _command_generate,

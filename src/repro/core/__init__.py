@@ -15,10 +15,12 @@ from .spectral import (
     power_method,
     lambda_max,
     lambda_min,
+    lambda_min_lanczos,
     adjacency_extreme_eigenvalues,
 )
 from .vector_space import (
     MAX_C_MARGIN,
+    SPECTRAL_SOLVERS,
     admissible_c,
     shared_admissible_c,
     phi,
@@ -59,8 +61,10 @@ __all__ = [
     "power_method",
     "lambda_max",
     "lambda_min",
+    "lambda_min_lanczos",
     "adjacency_extreme_eigenvalues",
     "MAX_C_MARGIN",
+    "SPECTRAL_SOLVERS",
     "admissible_c",
     "shared_admissible_c",
     "phi",

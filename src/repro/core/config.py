@@ -53,7 +53,14 @@ class OCAConfig:
         Per-run budget on greedy moves; ``None`` derives a safe default
         from the graph size.
     spectral_tol / spectral_max_iterations:
-        Power-method controls for computing ``c``.
+        Solver controls for computing ``c``.
+    spectral_solver:
+        How ``lambda_min`` is resolved on a spectral-cache miss:
+        ``power`` (default, the paper's power method) or ``lanczos``
+        (``scipy.sparse.linalg.eigsh``, several times faster cold — see
+        BENCH_serving.json).  Both solvers agree to within
+        ``spectral_tol`` and share one cache slot, so a value resolved
+        by either serves both.
     workers:
         Worker-pool size for the execution engine; 1 (default) runs the
         local searches inline, 0 means one worker per CPU.  The cover is
@@ -94,6 +101,7 @@ class OCAConfig:
     max_growth_steps: Optional[int] = None
     spectral_tol: float = 1e-6
     spectral_max_iterations: int = 10000
+    spectral_solver: str = "power"
     workers: int = 1
     backend: str = "auto"
     batch_size: Optional[int] = None
@@ -130,6 +138,11 @@ class OCAConfig:
         if self.batch_size is not None and self.batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.spectral_solver not in ("power", "lanczos"):
+            raise ConfigurationError(
+                "spectral_solver must be one of 'power', 'lanczos'; "
+                f"got {self.spectral_solver!r}"
             )
         if self.representation not in ("auto", "dict", "csr"):
             raise ConfigurationError(

@@ -147,8 +147,13 @@ class OCA:
             graph,
             tol=self.config.spectral_tol,
             max_iterations=self.config.spectral_max_iterations,
+            solver=self.config.spectral_solver,
         )
-        return c, "cache" if hit else "power_method"
+        if hit:
+            return c, "cache"
+        return c, (
+            "lanczos" if self.config.spectral_solver == "lanczos" else "power_method"
+        )
 
     def _engine_matches(self, engine: ExecutionEngine) -> bool:
         """Whether a supplied engine reflects the config's engine knobs."""

@@ -14,9 +14,15 @@ exactly that:
 * :func:`lambda_min` — most negative adjacency eigenvalue, via power
   iteration on the shifted matrix ``A - lambda_max * I`` whose
   largest-modulus eigenvalue is ``lambda_min - lambda_max``.
+* :func:`lambda_min_lanczos` — the same quantity through
+  ``scipy.sparse.linalg.eigsh`` (implicitly restarted Lanczos), the
+  faster cold-start alternative the serving layer selects with
+  ``spectral_solver="lanczos"``.  One sparse solve replaces the two
+  chained power iterations, which dominates the first detect on a
+  fresh graph (see BENCH_serving.json).
 
 Dense eigensolver cross-checks live in the test-suite, not here: the whole
-point of the power method is to avoid materialising anything dense.
+point of the iterative solvers is to avoid materialising anything dense.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ __all__ = [
     "power_method",
     "lambda_max",
     "lambda_min",
+    "lambda_min_lanczos",
     "adjacency_extreme_eigenvalues",
 ]
 
@@ -187,6 +194,82 @@ def lambda_min(
     value = result.eigenvalue + shift
     # lambda_min of a graph with an edge is at most -1 (interlacing with
     # the K2 subgraph); clamp numerical noise above that bound.
+    return min(value, -1.0)
+
+
+def lambda_min_lanczos(
+    graph: Graph,
+    tol: float = 1e-9,
+    max_iterations: int = 5000,
+    seed: SeedLike = None,
+    require_convergence: bool = True,
+) -> float:
+    """The most negative adjacency eigenvalue, via restarted Lanczos.
+
+    Semantically interchangeable with :func:`lambda_min` (same clamping,
+    same edgeless short-circuit) but resolved by
+    ``scipy.sparse.linalg.eigsh(which="SA")`` in one sparse solve
+    instead of two chained power iterations — typically several times
+    faster on the LFR family at serving scale.  Values agree with the
+    power method to within the tolerance, which is far below anything
+    that can flip a greedy comparison (``c`` only scales the fitness).
+
+    Falls back to :func:`lambda_min` for graphs too small for a Lanczos
+    basis (``n < 3``) and, with a degenerate start-vector failure, on
+    :class:`scipy.sparse.linalg.ArpackNoConvergence` when
+    ``require_convergence`` is false.
+    """
+    if graph.number_of_edges() == 0:
+        return 0.0
+    n = graph.number_of_nodes()
+    if n < 3:
+        # eigsh needs k < n and a non-trivial Krylov space; the power
+        # method is instant at this size anyway.
+        return lambda_min(
+            graph,
+            tol=tol,
+            max_iterations=max_iterations,
+            seed=seed,
+            require_convergence=require_convergence,
+        )
+    try:
+        from scipy.sparse.linalg import ArpackNoConvergence, eigsh
+    except ImportError as error:  # pragma: no cover - scipy is a hard dep
+        raise ConvergenceError(
+            f"spectral_solver='lanczos' requires scipy ({error}); "
+            "use spectral_solver='power'",
+            iterations=0,
+            residual=float("inf"),
+        ) from error
+    adjacency, _ = adjacency_with_index(graph)
+    if adjacency.dtype != np.float64:  # normally already float64: no copy
+        adjacency = adjacency.astype(np.float64)
+    # Deterministic start vector: like the power method, any start
+    # converges to the same eigenvalue within tolerance, but pinning it
+    # keeps the resolved value a pure function of (graph, tol, budget).
+    rng = as_numpy_rng(seed)
+    v0 = rng.standard_normal(graph.number_of_nodes())
+    try:
+        values = eigsh(
+            adjacency,
+            k=1,
+            which="SA",
+            tol=tol,
+            maxiter=max_iterations,
+            v0=v0,
+            return_eigenvectors=False,
+        )
+        value = float(values[0])
+    except ArpackNoConvergence as error:
+        if require_convergence or len(error.eigenvalues) == 0:
+            raise ConvergenceError(
+                f"Lanczos (eigsh) did not reach tol={tol} in "
+                f"{max_iterations} iterations",
+                iterations=max_iterations,
+                residual=float("inf"),
+            ) from error
+        value = float(error.eigenvalues[0])
+    # Same clamp as lambda_min: a graph with an edge has lambda_min <= -1.
     return min(value, -1.0)
 
 

@@ -32,10 +32,11 @@ from .._rng import SeedLike
 from ..errors import ConfigurationError
 from ..graph import Graph, adjacency_with_index, compile_graph
 from ..graph.csr import CompiledGraph
-from .spectral import lambda_min
+from .spectral import lambda_min, lambda_min_lanczos
 
 __all__ = [
     "MAX_C_MARGIN",
+    "SPECTRAL_SOLVERS",
     "admissible_c",
     "shared_admissible_c",
     "phi",
@@ -57,12 +58,18 @@ MAX_C_MARGIN = 1e-9
 #: entry point while keeping covers byte-identical between them.
 SPECTRAL_SEED = 0x5EED
 
+#: Accepted values for every ``spectral_solver`` knob: the paper's power
+#: method (default), and restarted Lanczos via scipy's ``eigsh`` — the
+#: fast cold-start path the serving layer prefers.
+SPECTRAL_SOLVERS = ("power", "lanczos")
+
 
 def admissible_c(
     graph: Graph,
     tol: float = 1e-6,
     max_iterations: int = 10000,
     seed: SeedLike = None,
+    solver: str = "power",
 ) -> float:
     """The largest admissible inner-product value ``c = -1/lambda_min``.
 
@@ -73,9 +80,16 @@ def admissible_c(
     The tolerance is deliberately loose: ``c`` only scales the fitness
     function, so errors around 1e-6 cannot flip any greedy comparison
     that matters, while tight tolerances make the shifted power iteration
-    needlessly slow on spectra with clustered extremes.
+    needlessly slow on spectra with clustered extremes.  ``solver``
+    selects how ``lambda_min`` is resolved (:data:`SPECTRAL_SOLVERS`);
+    both solvers agree to within the tolerance.
     """
-    smallest = lambda_min(
+    if solver not in SPECTRAL_SOLVERS:
+        raise ConfigurationError(
+            f"spectral solver must be one of {SPECTRAL_SOLVERS}, got {solver!r}"
+        )
+    resolve = lambda_min_lanczos if solver == "lanczos" else lambda_min
+    smallest = resolve(
         graph,
         tol=tol,
         max_iterations=max_iterations,
@@ -92,6 +106,7 @@ def shared_admissible_c(
     graph,
     tol: float = 1e-6,
     max_iterations: int = 10000,
+    solver: str = "power",
 ) -> "tuple[float, bool]":
     """The admissible ``c``, cached on the graph's compiled form.
 
@@ -102,6 +117,15 @@ def shared_admissible_c(
     processes (the cache pickles with the compiled graph), and the
     session serving layer.  Any graph mutation invalidates the compiled
     form and with it the cached spectrum.
+
+    ``solver`` picks how a cache *miss* is resolved (the power method or
+    Lanczos); the cache key stays ``(tol, max_iterations)`` on purpose.
+    Both solvers approximate the same mathematical quantity to within
+    the tolerance, so a value cached by either serves the other — a
+    Lanczos-cold, power-warm session never re-runs any solver, and
+    pickled caches from pre-Lanczos sessions keep hitting.  Within one
+    configuration the solver is fixed, so covers stay a pure function of
+    (graph, seed, batch_size, solver-of-first-resolution).
 
     Accepts a :class:`~repro.graph.Graph` (compiled on first use, which
     every CSR-representation run pays anyway) or a
@@ -120,7 +144,11 @@ def shared_admissible_c(
         if cached is not None:
             return cached, True
     c = admissible_c(
-        graph, tol=tol, max_iterations=max_iterations, seed=SPECTRAL_SEED
+        graph,
+        tol=tol,
+        max_iterations=max_iterations,
+        seed=SPECTRAL_SEED,
+        solver=solver,
     )
     if compiled is not None:
         compiled.spectral_cache[key] = c

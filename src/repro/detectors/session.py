@@ -20,13 +20,14 @@ seeds — the session changes wall-clock time, never results.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from .._rng import SeedLike
 from ..detection import DetectionRequest, DetectionResult
 from ..engine.engine import ExecutionEngine
-from ..errors import AlgorithmError
+from ..errors import AlgorithmError, SessionClosedError
 from ..graph import Graph
 from ..graph.csr import CompiledGraph, compile_graph
 from .registry import get_detector
@@ -47,12 +48,22 @@ class SessionStats:
     by_algorithm:
         Call counts per registry key.
     power_method_runs / spectral_cache_hits:
-        How often the spectral ``c`` was computed vs served from the
-        compiled graph's cache (``config``-supplied values count as
-        neither).
+        How often a spectral solver actually ran (the power method or
+        Lanczos — any solve that resolved ``c`` from scratch) vs the
+        value being served from the compiled graph's cache
+        (``config``-supplied values count as neither).
     pool_reuses:
         Detect calls that ran on the already-warm persistent worker
         pool instead of starting one.
+    pools_closed:
+        How many times the session's persistent worker pool was actually
+        torn down (close, reopen-after-close, incompatible-context
+        replacement) — reported through the engine's close hooks.
+    memory_bytes:
+        Resident footprint of the session's per-graph artifacts (the
+        compiled CSR arrays plus the label table); what the
+        :class:`~repro.serving.SessionManager` charges against its
+        memory budget.
     detect_seconds:
         Wall-clock summed over all detect calls.
     """
@@ -64,6 +75,8 @@ class SessionStats:
     power_method_runs: int = 0
     spectral_cache_hits: int = 0
     pool_reuses: int = 0
+    pools_closed: int = 0
+    memory_bytes: int = 0
     detect_seconds: float = 0.0
 
     def record(self, result: DetectionResult) -> None:
@@ -74,7 +87,7 @@ class SessionStats:
         )
         self.detect_seconds += result.elapsed_seconds
         c_source = result.stats.get("c_source")
-        if c_source == "power_method":
+        if c_source in ("power_method", "lanczos"):
             self.power_method_runs += 1
         elif c_source == "cache":
             self.spectral_cache_hits += 1
@@ -97,7 +110,11 @@ class GraphSession:
         session's worker pool.
 
     The session is a context manager; :meth:`close` releases the
-    persistent worker pool.  Detection through a closed session raises.
+    persistent worker pool.  Detection through a closed session — and a
+    second explicit ``close()`` — raises
+    :class:`~repro.errors.SessionClosedError`; :meth:`reopen` brings a
+    closed session back (the compiled graph and spectral cache survive
+    the close, so a reopened session is still warm except for the pool).
 
     Notes
     -----
@@ -130,17 +147,40 @@ class GraphSession:
         self.backend = backend
         self.batch_size = batch_size
         self.representation = representation
-        self._engine = ExecutionEngine(
-            backend=backend,
-            workers=workers,
-            batch_size=batch_size,
-            persistent=True,
-        )
         self._stats = SessionStats(
             nodes=self._compiled.number_of_nodes(),
             edges=self._compiled.number_of_edges(),
+            memory_bytes=self._measure_memory(),
         )
         self._closed = False
+        self._engine = self._build_engine()
+
+    def _build_engine(self) -> ExecutionEngine:
+        engine = ExecutionEngine(
+            backend=self.backend,
+            workers=self.workers,
+            batch_size=self.batch_size,
+            persistent=True,
+        )
+        engine.add_close_hook(self._on_pool_closed)
+        return engine
+
+    def _on_pool_closed(self) -> None:
+        self._stats.pools_closed += 1
+
+    def _measure_memory(self) -> int:
+        """Footprint of the per-graph artifacts this session pins.
+
+        The CSR arrays dominate; for non-identity labels the label table
+        (list slots + the label objects themselves) is charged too, so a
+        string-labelled graph costs visibly more than its integer twin.
+        """
+        total = self._compiled.nbytes()
+        if not self._compiled.identity_labels:
+            labels = self._compiled.labels
+            total += sys.getsizeof(labels)
+            total += sum(sys.getsizeof(label) for label in labels)
+        return total
 
     # ------------------------------------------------------------------
     @property
@@ -163,6 +203,23 @@ class GraphSession:
         """Whether :meth:`close` has been called."""
         return self._closed
 
+    @property
+    def fingerprint(self) -> str:
+        """The content fingerprint of the bound graph.
+
+        The key the :class:`~repro.serving.SessionManager` files this
+        session under; see :func:`repro.serving.graph_fingerprint`.
+        Cached on the compiled form, so repeated reads are free.
+        """
+        # Imported lazily: repro.serving imports this module.
+        from ..serving.fingerprint import graph_fingerprint
+
+        return graph_fingerprint(self._compiled)
+
+    def memory_bytes(self) -> int:
+        """Resident footprint of the session's per-graph artifacts."""
+        return self._stats.memory_bytes
+
     # ------------------------------------------------------------------
     def detect(
         self,
@@ -178,7 +235,10 @@ class GraphSession:
         and folds its accounting into :attr:`stats`.
         """
         if self._closed:
-            raise AlgorithmError("cannot detect through a closed GraphSession")
+            raise SessionClosedError(
+                "cannot detect through a closed GraphSession "
+                "(call reopen() to bring it back)"
+            )
         detector = get_detector(algorithm)
         request = DetectionRequest(
             graph=self._graph,
@@ -196,16 +256,43 @@ class GraphSession:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the persistent worker pool; idempotent."""
-        if not self._closed:
-            self._engine.close()
-            self._closed = True
+        """Release the persistent worker pool.
+
+        A second explicit ``close()`` raises
+        :class:`~repro.errors.SessionClosedError` — a clear lifecycle
+        error at the call site rather than an obscure failure inside the
+        pool teardown path.  (Context-manager exit stays tolerant: a
+        session closed inside its ``with`` block exits cleanly.)  The
+        closed flag is set *before* the pool teardown so the session is
+        unusable even if teardown itself fails.
+        """
+        if self._closed:
+            raise SessionClosedError(
+                "GraphSession.close() called on an already-closed session"
+            )
+        self._closed = True
+        self._engine.close()
+
+    def reopen(self) -> "GraphSession":
+        """Bring a closed session back into service; returns ``self``.
+
+        The expensive per-graph artifacts — the compiled CSR form and
+        the spectral cache living on it — survived the close, so a
+        reopened session only pays worker-pool startup again.  This is
+        what lets the serving layer's LRU park and revive sessions
+        cheaply.  No-op on an open session.
+        """
+        if self._closed:
+            self._engine = self._build_engine()
+            self._closed = False
+        return self
 
     def __enter__(self) -> "GraphSession":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.close()
+        if not self._closed:
+            self.close()
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"

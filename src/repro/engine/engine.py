@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Set
+from typing import Callable, Dict, Hashable, List, Optional, Set
 
 from .._rng import SeedLike, as_master_seed, as_random
 from ..core.fitness import FitnessFunction
@@ -108,6 +108,7 @@ class ExecutionEngine:
         self.persistent = persistent
         self._pool = None
         self._pool_context: Optional[WorkerContext] = None
+        self._close_hooks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -129,12 +130,30 @@ class ExecutionEngine:
             and cached.max_growth_steps == context.max_growth_steps
         )
 
+    @property
+    def pool_active(self) -> bool:
+        """Whether a persistent worker pool is currently open."""
+        return self._pool is not None
+
+    def add_close_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback invoked after each pool shutdown.
+
+        Hooks fire every time an open pool is actually torn down —
+        explicit :meth:`close`, context-manager exit, or the implicit
+        teardown when a persistent pool is replaced by an incompatible
+        one.  The serving layer uses this to keep eviction/lifecycle
+        accounting in sync with the real pool state.
+        """
+        self._close_hooks.append(hook)
+
     def close(self) -> None:
         """Release the persistent worker pool, if one is open."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
             self._pool_context = None
+            for hook in self._close_hooks:
+                hook()
 
     def __enter__(self) -> "ExecutionEngine":
         return self

@@ -5,8 +5,10 @@ Every error raised intentionally by this library derives from
 sub-classes mirror the package layout: graph construction problems raise
 :class:`GraphError`, community-structure problems raise
 :class:`CommunityError`, generator parameter problems raise
-:class:`GeneratorError`, and algorithm configuration problems raise
-:class:`AlgorithmError`.
+:class:`GeneratorError`, algorithm configuration problems raise
+:class:`AlgorithmError`, and the multi-graph serving layer raises
+:class:`ServingError` (with :class:`SessionClosedError` for lifecycle
+misuse and :class:`QueueFull` for backpressure).
 """
 
 from __future__ import annotations
@@ -23,6 +25,9 @@ __all__ = [
     "AlgorithmError",
     "ConvergenceError",
     "ConfigurationError",
+    "ServingError",
+    "SessionClosedError",
+    "QueueFull",
 ]
 
 
@@ -86,3 +91,30 @@ class ConvergenceError(AlgorithmError, RuntimeError):
 
 class ConfigurationError(AlgorithmError, ValueError):
     """An algorithm configuration value is out of its valid range."""
+
+
+class ServingError(ReproError):
+    """A problem in the multi-graph serving layer (:mod:`repro.serving`)."""
+
+
+class SessionClosedError(ServingError, AlgorithmError):
+    """A closed :class:`~repro.detectors.GraphSession` was used.
+
+    Raised on ``detect`` through a closed session and on a second
+    ``close()`` — a clear lifecycle error instead of an obscure failure
+    deep in the worker-pool teardown path.  Subclasses
+    :class:`AlgorithmError` so pre-serving callers that caught the old
+    error keep working.
+    """
+
+
+class QueueFull(ServingError):
+    """The serving queue rejected a request (bounded-depth backpressure).
+
+    Carries the depth the queue was at; callers are expected to retry
+    later or shed load.
+    """
+
+    def __init__(self, message: str, depth: int) -> None:
+        super().__init__(message)
+        self.depth = depth

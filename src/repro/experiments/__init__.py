@@ -15,7 +15,13 @@ Figure 6  :mod:`~repro.experiments.figure6`      bench_figure6.py
 
 from .timing import Timer, time_call, TimingLog
 from .reporting import ascii_table, Series, series_table
-from .runner import AlgorithmRun, run_algorithm, run_replicates, ALGORITHMS
+from .runner import (
+    AlgorithmRun,
+    run_algorithm,
+    run_replicates,
+    run_sweep,
+    ALGORITHMS,
+)
 from .table1 import Table1Row, Table1Result, run_table1
 from .figure2 import Figure2Result, run_figure2, DEFAULT_MUS
 from .figure3 import Figure3Result, run_figure3, DEFAULT_FLOWER_COUNTS
@@ -34,6 +40,7 @@ __all__ = [
     "AlgorithmRun",
     "run_algorithm",
     "run_replicates",
+    "run_sweep",
     "ALGORITHMS",
     "Table1Row",
     "Table1Result",

@@ -36,6 +36,7 @@ __all__ = [
     "AlgorithmRun",
     "run_algorithm",
     "run_replicates",
+    "run_sweep",
     "ALGORITHMS",
     "EXPERIMENT_PARAMS",
 ]
@@ -81,6 +82,7 @@ def run_algorithm(
     backend: str = "auto",
     batch_size: Optional[int] = None,
     representation: str = "auto",
+    spectral_solver: str = "power",
 ) -> AlgorithmRun:
     """Run one algorithm by figure label or registry key.
 
@@ -89,10 +91,14 @@ def run_algorithm(
     ``quality_mode=False`` (Figures 5/6) times the raw algorithm only.
     ``workers``/``backend``/``batch_size``/``representation`` configure
     the execution engine for algorithms that support it (currently OCA;
-    the baselines are inherently sequential and ignore them).
+    the baselines are inherently sequential and ignore them), and
+    ``spectral_solver`` picks OCA's cold ``c`` resolution (power method
+    or Lanczos).
     """
     detector = get_detector(name)
-    params = EXPERIMENT_PARAMS.get(detector.name, {})
+    params = dict(EXPERIMENT_PARAMS.get(detector.name, {}))
+    if detector.name == "oca" and spectral_solver != "power":
+        params["spectral_solver"] = spectral_solver
     rng = as_random(seed)
     start = time.perf_counter()
     result = detector.detect(
@@ -214,3 +220,104 @@ def run_replicates(
         return pool.map_ordered(_execute_replicate, payloads)
     finally:
         pool.close()
+
+
+# ----------------------------------------------------------------------
+# Multi-graph sweeps through the serving layer
+# ----------------------------------------------------------------------
+def run_sweep(
+    name: str,
+    graphs,
+    replicates: int = 1,
+    seed: SeedLike = None,
+    quality_mode: bool = True,
+    merge_threshold: float = 0.4,
+    assign_orphans: bool = True,
+    manager=None,
+    max_sessions: Optional[int] = None,
+    workers: int = 1,
+    backend: str = "auto",
+    batch_size: Optional[int] = None,
+    representation: str = "auto",
+) -> "List[List[AlgorithmRun]]":
+    """Replicate runs over *many* graphs, served from one warm manager.
+
+    The quality experiments sweep one algorithm over a family of LFR
+    instances; running each ``(graph, replicate)`` through
+    :func:`run_algorithm` re-pays graph compilation and the spectral
+    ``c`` for every replicate.  This routes the whole sweep through a
+    :class:`~repro.serving.SessionManager` instead: each graph binds a
+    session once (its replicates all hit warm state), and the LRU keeps
+    the working set bounded when the family outgrows memory.
+
+    Seeds mirror the established derivation exactly — graph ``i`` gets
+    base seed ``spawn_streams(seed, len(graphs))[i]``, its replicate
+    ``j`` gets ``spawn_streams(base, replicates)[j]`` — so
+    ``result[i]`` is byte-identical (cover for cover) to
+    ``run_replicates(name, graphs[i], replicates,
+    seed=spawn_streams(seed, len(graphs))[i])``.
+
+    ``manager`` lets callers share one manager across sweeps (it is left
+    open, and its own engine configuration governs); otherwise a private
+    manager sized ``max_sessions`` (default: the whole family) is
+    created with the supplied engine knobs
+    (``workers``/``backend``/``batch_size``/``representation``, the
+    same surface as :func:`run_replicates`) and closed on exit.
+    Returns one list of :class:`AlgorithmRun` per graph, in graph
+    order.
+    """
+    from ..serving import SessionManager
+
+    graphs = list(graphs)
+    if replicates < 1:
+        raise AlgorithmError(f"replicates must be >= 1, got {replicates}")
+    detector_name = get_detector(name).name  # validates the name up front
+    graph_seeds = spawn_streams(seed, len(graphs))
+    owns_manager = manager is None
+    if owns_manager:
+        manager = SessionManager(
+            # None-check, not truthiness: an explicit max_sessions=0
+            # must reach SessionManager's validation, not be masked.
+            max_sessions=(
+                max_sessions if max_sessions is not None else max(1, len(graphs))
+            ),
+            workers=workers,
+            backend=backend,
+            batch_size=batch_size,
+            representation=representation,
+        )
+    try:
+        sweeps: List[List[AlgorithmRun]] = []
+        for graph, graph_seed in zip(graphs, graph_seeds):
+            runs: List[AlgorithmRun] = []
+            for replicate_seed in spawn_streams(graph_seed, replicates):
+                # The same derivation chain as run_algorithm: the
+                # detect seed is spawned from the replicate seed, so
+                # covers match the run_replicates path draw-for-draw.
+                rng = as_random(replicate_seed)
+                start = time.perf_counter()
+                result = manager.detect(
+                    graph,
+                    detector_name,
+                    seed=spawn_seed(rng),
+                    **EXPERIMENT_PARAMS.get(detector_name, {}),
+                )
+                cover = result.cover
+                elapsed = time.perf_counter() - start
+                if quality_mode:
+                    cover = postprocess(
+                        graph,
+                        cover,
+                        merge_threshold=merge_threshold,
+                        orphans=assign_orphans,
+                    )
+                runs.append(
+                    AlgorithmRun(
+                        algorithm=name, cover=cover, elapsed_seconds=elapsed
+                    )
+                )
+            sweeps.append(runs)
+        return sweeps
+    finally:
+        if owns_manager:
+            manager.close()

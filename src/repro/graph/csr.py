@@ -113,6 +113,7 @@ class CompiledGraph:
         "_num_edges",
         "spectral_cache",
         "_identity",
+        "_fingerprint",
     )
 
     def __init__(
@@ -134,6 +135,9 @@ class CompiledGraph:
         # mutation drops the compiled form and the cached values with it.
         self.spectral_cache: Dict[tuple, float] = {}
         self._identity: Optional["CompiledGraph"] = None
+        # Content-hash cache for the serving layer (see
+        # repro.serving.fingerprint); None until first requested.
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Graph protocol (integer-id keyed)
@@ -290,6 +294,7 @@ class CompiledGraph:
         self._index = None
         self._num_edges = len(self.indices) // 2
         self._identity = None
+        self._fingerprint = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CompiledGraph):

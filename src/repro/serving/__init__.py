@@ -1,0 +1,54 @@
+"""The multi-graph serving layer: sessions, cached; requests, queued.
+
+:class:`~repro.detectors.GraphSession` (PR 3) made repeat detections
+over one graph cheap.  This package is the layer above it, the one the
+heavy-traffic north star needs — many graphs, many clients, one
+process:
+
+* :mod:`~repro.serving.fingerprint` — a stable, order-insensitive
+  content hash of a graph (:func:`graph_fingerprint`), the key under
+  which warm state is shared;
+* :mod:`~repro.serving.manager` — :class:`SessionManager`, a bounded
+  LRU of warm sessions with deterministic eviction, hit/miss/eviction
+  accounting, and thread-safe ``detect``;
+* :mod:`~repro.serving.queue` — :class:`ServingQueue`, bounded
+  asynchronous admission with :class:`~repro.errors.QueueFull`
+  backpressure, per-request futures, and graceful drain;
+* :mod:`~repro.serving.service` — :class:`ServingService`, the
+  socket-free JSONL front-end behind ``repro-oca serve``.
+
+Quickstart::
+
+    from repro.serving import ServingQueue, SessionManager
+
+    with SessionManager(max_sessions=4) as manager:
+        # synchronous, warm-cached across graphs
+        result = manager.detect(graph, "oca", seed=7)
+
+        # asynchronous, bounded
+        with ServingQueue(manager, workers=2, max_depth=64) as q:
+            futures = [q.detect(g, "oca", seed=s) for g, s in traffic]
+            covers = [f.result().cover for f in futures]
+
+Covers served through either path are byte-identical to direct
+``GraphSession.detect`` calls with the same arguments — the serving
+layer routes and amortises, it never changes results.  Every future
+scaling layer (sharding, shared-memory arrays, batched dispatch) plugs
+in behind these interfaces.
+"""
+
+from .fingerprint import graph_fingerprint
+from .manager import ManagerStats, SessionManager
+from .queue import QueueStats, ServeRequest, ServingQueue
+from .service import ServingService, serve_stream
+
+__all__ = [
+    "graph_fingerprint",
+    "ManagerStats",
+    "SessionManager",
+    "QueueStats",
+    "ServeRequest",
+    "ServingQueue",
+    "ServingService",
+    "serve_stream",
+]

@@ -1,0 +1,381 @@
+"""SessionManager: a bounded LRU of warm GraphSessions, one per graph.
+
+:class:`~repro.detectors.GraphSession` made repeat traffic over *one*
+graph cheap (compiled CSR, cached spectral ``c``, persistent worker
+pool, all paid once).  The serving north star is repeat traffic over
+*many* graphs, from many clients, in one process — which needs an owner
+for the set of live sessions: something that recognises a graph it has
+seen before (by content, via :func:`~repro.serving.graph_fingerprint`),
+bounds how many sessions stay resident, and evicts deterministically
+when the bound is hit.  That owner is :class:`SessionManager`::
+
+    manager = SessionManager(max_sessions=4)
+    for request_graph, seed in traffic:
+        result = manager.detect(request_graph, "oca", seed=seed)
+
+Covers are byte-identical to a direct ``GraphSession.detect`` on the
+same graph — the manager only decides *which* warm session serves a
+request, never how the detection runs.  Eviction is strict LRU over
+fingerprints (least-recently *served*, not least-recently bound), so
+cache contents after any request sequence are a pure function of that
+sequence.  ``detect`` is thread-safe: binding and LRU bookkeeping are
+serialized on the manager lock, per-session work on a per-entry lock,
+so requests for different graphs run concurrently on their own worker
+pools while requests for the same graph queue up behind its session.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .._rng import SeedLike
+from ..detection import DetectionResult
+from ..detectors.session import GraphSession
+from ..errors import ConfigurationError, ServingError
+from .fingerprint import graph_fingerprint
+
+__all__ = ["ManagerStats", "SessionManager"]
+
+#: What ``detect`` accepts as its graph argument: a graph (bound on
+#: miss) or a bare fingerprint string (must already be warm).
+GraphOrFingerprint = Union[Any, str]
+
+
+@dataclass
+class ManagerStats:
+    """Aggregate accounting of one manager's serving behaviour.
+
+    Attributes
+    ----------
+    hits / misses:
+        Session-cache outcomes per request: a hit reused a warm session
+        (fingerprint already bound), a miss bound a fresh one.
+    evictions:
+        Sessions closed to honour ``max_sessions`` / the memory budget.
+    reopened:
+        Warm entries whose session had been closed out-of-band and was
+        revived via :meth:`GraphSession.reopen` instead of a full
+        rebind (compiled graph and spectral cache survive).
+    detect_calls / detect_seconds:
+        Requests served and their summed wall-clock.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    reopened: int = 0
+    detect_calls: int = 0
+    detect_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from a warm session."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Entry:
+    """One LRU slot: a session plus the lock serializing work on it."""
+
+    __slots__ = ("fingerprint", "session", "lock")
+
+    def __init__(self, fingerprint: str, session: GraphSession) -> None:
+        self.fingerprint = fingerprint
+        self.session = session
+        self.lock = threading.Lock()
+
+
+class SessionManager:
+    """Serve detection requests over many graphs from bounded warm state.
+
+    Parameters
+    ----------
+    max_sessions:
+        Hard cap on resident sessions; binding one more evicts the
+        least-recently-used (its worker pool is shut down and its
+        compiled arrays become collectable).
+    max_memory_bytes:
+        Optional additional budget on the summed
+        :meth:`GraphSession.memory_bytes` of resident sessions.  While
+        over budget, LRU sessions are evicted — but never the last one,
+        which is needed to serve the request that is binding it.
+    workers / backend / batch_size / representation:
+        Forwarded to every :class:`~repro.detectors.GraphSession` the
+        manager binds.
+
+    The manager is a context manager; :meth:`close` evicts everything.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 8,
+        max_memory_bytes: Optional[int] = None,
+        workers: int = 1,
+        backend: str = "auto",
+        batch_size: Optional[int] = None,
+        representation: str = "auto",
+    ) -> None:
+        if max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        if max_memory_bytes is not None and max_memory_bytes <= 0:
+            raise ConfigurationError(
+                f"max_memory_bytes must be positive, got {max_memory_bytes}"
+            )
+        self.max_sessions = max_sessions
+        self.max_memory_bytes = max_memory_bytes
+        self._session_kwargs: Dict[str, Any] = {
+            "workers": workers,
+            "backend": backend,
+            "batch_size": batch_size,
+            "representation": representation,
+        }
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._closed = False
+        self.stats = ManagerStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def fingerprints(self) -> List[str]:
+        """Resident fingerprints in eviction order (LRU first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def memory_bytes(self) -> int:
+        """Summed footprint of all resident sessions."""
+        with self._lock:
+            return sum(
+                entry.session.memory_bytes() for entry in self._entries.values()
+            )
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @staticmethod
+    def fingerprint(graph: Any) -> str:
+        """The cache key a graph would be served under."""
+        return graph_fingerprint(graph)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        graph: GraphOrFingerprint,
+        algorithm: str = "oca",
+        seed: SeedLike = None,
+        **params: Any,
+    ) -> DetectionResult:
+        """Serve one detection request, reusing a warm session on a hit.
+
+        ``graph`` may be a :class:`~repro.graph.Graph`, a
+        :class:`~repro.graph.CompiledGraph`, or a bare fingerprint
+        string — the latter only reaches sessions that are already warm
+        (there is no graph to bind on a miss) and raises
+        :class:`~repro.errors.ServingError` otherwise.
+
+        The result is exactly what ``GraphSession.detect`` returns for
+        the same arguments, with two serving annotations added to its
+        ``stats``: ``session_fingerprint`` and ``session_hit``.
+        """
+        if not isinstance(graph, str):
+            # Warm the content hash (and with it the compiled form, which
+            # the hash is computed on) *outside* the manager lock: both
+            # are cached on the graph, so the costly O(n + m) work runs
+            # unserialised and _resolve's critical section stays at dict
+            # lookups plus, on a miss, a cache-hit session bind.
+            graph_fingerprint(graph)
+        while True:
+            evicted: List[_Entry] = []
+            with self._lock:
+                if self._closed:
+                    raise ServingError("SessionManager is closed")
+                entry, hit = self._resolve(graph, evicted)
+            # Evicted pools are shut down outside the manager lock, and
+            # only *after* this request has been served: an in-flight
+            # detect on a victim holds the victim's entry lock for its
+            # full duration, and waiting on it here would stall the very
+            # request whose bind triggered the eviction.
+            try:
+                lost_race = False
+                with entry.lock:
+                    if entry.session.closed:
+                        # Lost a race with eviction between resolve and
+                        # lock acquisition: the entry is already out of
+                        # the LRU map.  Rebind from the graph if we have
+                        # one; a bare fingerprint has nothing to rebind.
+                        lost_race = True
+                    else:
+                        result = entry.session.detect(
+                            algorithm, seed=seed, **params
+                        )
+            finally:
+                self._close_entries(evicted)
+            if lost_race:
+                # Undo the losing iteration's cache-outcome count —
+                # whether we retry or fail, this request must not stay
+                # booked as a serve.  (Outside the entry lock: stats
+                # take the manager lock, and entry-then-manager ordering
+                # is what _revive's manager-then-entry must never meet.)
+                with self._lock:
+                    if hit:
+                        self.stats.hits -= 1
+                    else:
+                        self.stats.misses -= 1
+                if isinstance(graph, str):
+                    raise ServingError(
+                        f"session {graph!r} was evicted while the "
+                        "request was in flight; re-send the graph"
+                    )
+                continue
+            with self._lock:
+                self.stats.detect_calls += 1
+                self.stats.detect_seconds += result.elapsed_seconds
+            result.stats["session_fingerprint"] = entry.fingerprint
+            result.stats["session_hit"] = hit
+            return result
+
+    def session(self, graph: GraphOrFingerprint) -> GraphSession:
+        """Bind-or-fetch the warm session for a graph (LRU-refreshing).
+
+        Prefer :meth:`detect` for serving: direct calls on the returned
+        session are not serialized against concurrent manager traffic,
+        and the session may be evicted (closed) under the caller at any
+        later request.  This accessor exists for introspection and
+        single-threaded pipelines that want the full session surface.
+        """
+        if not isinstance(graph, str):
+            graph_fingerprint(graph)  # hash + compile outside the lock
+        evicted: List[_Entry] = []
+        with self._lock:
+            if self._closed:
+                raise ServingError("SessionManager is closed")
+            entry, _ = self._resolve(graph, evicted)
+        self._close_entries(evicted)
+        return entry.session
+
+    # ------------------------------------------------------------------
+    # Internals (manager lock held)
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, graph: GraphOrFingerprint, evicted: List[_Entry]
+    ) -> Tuple[_Entry, bool]:
+        if isinstance(graph, str):
+            entry = self._entries.get(graph)
+            if entry is None:
+                raise ServingError(
+                    f"no warm session for fingerprint {graph!r}; pass the "
+                    "graph itself to bind one"
+                )
+            self._revive(entry)
+            self._entries.move_to_end(graph)
+            self.stats.hits += 1
+            return entry, True
+        key = graph_fingerprint(graph)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._revive(entry)
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry, True
+        session = GraphSession(graph, **self._session_kwargs)
+        entry = _Entry(key, session)
+        self._entries[key] = entry
+        self.stats.misses += 1
+        self._shed(evicted)
+        return entry, False
+
+    def _revive(self, entry: _Entry) -> None:
+        """Reopen a resident session that was closed out-of-band.
+
+        An entry still in the LRU map cannot be mid-eviction (eviction
+        pops under the manager lock, which we hold), so a closed session
+        here means someone closed it directly; ``reopen`` revives it on
+        its retained compiled graph and spectral cache.
+        """
+        if entry.session.closed:
+            with entry.lock:
+                if entry.session.closed:
+                    entry.session.reopen()
+                    self.stats.reopened += 1
+
+    def _shed(self, evicted: List[_Entry]) -> None:
+        """Pop LRU entries until both bounds hold (deterministic order)."""
+        while len(self._entries) > self.max_sessions:
+            _, entry = self._entries.popitem(last=False)
+            evicted.append(entry)
+            self.stats.evictions += 1
+        if self.max_memory_bytes is None:
+            return
+        while len(self._entries) > 1:
+            resident = sum(
+                entry.session.memory_bytes() for entry in self._entries.values()
+            )
+            if resident <= self.max_memory_bytes:
+                break
+            _, entry = self._entries.popitem(last=False)
+            evicted.append(entry)
+            self.stats.evictions += 1
+
+    @staticmethod
+    def _close_entries(entries: List[_Entry]) -> None:
+        for entry in entries:
+            with entry.lock:
+                if not entry.session.closed:
+                    entry.session.close()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def evict(self, fingerprint: str) -> bool:
+        """Evict one session by fingerprint; returns whether it was resident."""
+        with self._lock:
+            entry = self._entries.pop(fingerprint, None)
+            if entry is not None:
+                self.stats.evictions += 1
+        if entry is None:
+            return False
+        self._close_entries([entry])
+        return True
+
+    def close(self) -> None:
+        """Evict every session and refuse further requests; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+        self._close_entries(entries)
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        with self._lock:
+            resident = len(self._entries)
+        return (
+            f"SessionManager(sessions={resident}/{self.max_sessions}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"evictions={self.stats.evictions}, {state})"
+        )

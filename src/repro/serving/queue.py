@@ -1,0 +1,284 @@
+"""ServingQueue: bounded, asynchronous admission over a SessionManager.
+
+The manager serves synchronously: callers block for the whole detect.
+Real serving traffic arrives faster than single detects complete and
+must be *admitted* (or refused) immediately — so this module puts a
+classic bounded request queue in front of the manager:
+
+* :meth:`ServingQueue.submit` enqueues a :class:`ServeRequest` and
+  returns a :class:`concurrent.futures.Future` at once;
+* a small pool of worker threads drains the queue through
+  :meth:`SessionManager.detect` — requests for different graphs run
+  concurrently on their sessions' persistent pools, requests for the
+  same graph serialize on its session;
+* a full queue refuses the request with
+  :class:`~repro.errors.QueueFull` (backpressure: the caller decides
+  whether to retry, shed, or block), never by silently buffering
+  unboundedly;
+* :meth:`ServingQueue.close` drains gracefully by default — accepted
+  work completes, its futures resolve — or cancels pending requests
+  with ``drain=False``.
+
+Determinism is inherited, not re-proven: each request is served by a
+plain ``manager.detect`` call, so the cover for (graph, algorithm,
+seed, params) is byte-identical to a direct synchronous call no matter
+how many queue workers race.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .._rng import SeedLike
+from ..errors import ConfigurationError, QueueFull, ServingError
+
+__all__ = ["ServeRequest", "QueueStats", "ServingQueue"]
+
+#: Worker-loop shutdown marker.
+_SENTINEL = None
+
+
+@dataclass
+class ServeRequest:
+    """One queued detection request.
+
+    Attributes
+    ----------
+    graph:
+        A :class:`~repro.graph.Graph` / :class:`~repro.graph.CompiledGraph`,
+        or a fingerprint string targeting an already-warm session.
+    algorithm / seed / params:
+        Forwarded verbatim to :meth:`SessionManager.detect`.
+    id:
+        Opaque caller tag, echoed by the service layer into responses.
+    """
+
+    graph: Any
+    algorithm: str = "oca"
+    seed: SeedLike = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    id: Optional[Any] = None
+
+
+@dataclass
+class QueueStats:
+    """Aggregate accounting of one queue's admission behaviour."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    peak_depth: int = 0
+
+
+class ServingQueue:
+    """A bounded worker-thread executor over a :class:`SessionManager`.
+
+    Parameters
+    ----------
+    manager:
+        Anything with a ``detect(graph, algorithm, seed=..., **params)``
+        method — normally a :class:`~repro.serving.SessionManager`.
+    workers:
+        Dispatch threads.  More workers let more *distinct* graphs be
+        served concurrently; requests for one graph always serialize on
+        its session.
+    max_depth:
+        Queued-but-undispatched request bound; submissions beyond it
+        raise :class:`~repro.errors.QueueFull`.
+    """
+
+    def __init__(self, manager: Any, workers: int = 2, max_depth: int = 64) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if max_depth < 1:
+            raise ConfigurationError(f"max_depth must be >= 1, got {max_depth}")
+        self.manager = manager
+        self.workers = workers
+        self.max_depth = max_depth
+        self._queue: "_queue.Queue" = _queue.Queue(maxsize=max_depth)
+        self._lock = threading.Lock()
+        self._closed = False
+        self.stats = QueueStats()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (excluding in-flight dispatches)."""
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def submit(self, request: ServeRequest) -> "Future":
+        """Enqueue a request; returns its future immediately.
+
+        Raises :class:`~repro.errors.QueueFull` when the queue is at
+        ``max_depth`` (the backpressure signal) and
+        :class:`~repro.errors.ServingError` after :meth:`close`.
+        """
+        future: "Future" = Future()
+        item = (request, future, time.perf_counter())
+        if not self._try_enqueue(item):
+            with self._lock:
+                self.stats.rejected += 1
+            raise QueueFull(
+                f"serving queue is at max_depth={self.max_depth}; "
+                "retry later or raise the depth",
+                depth=self.max_depth,
+            )
+        return future
+
+    def submit_blocking(
+        self, request: ServeRequest, poll_seconds: float = 0.002
+    ) -> "Future":
+        """Like :meth:`submit`, but wait for space instead of refusing.
+
+        The batch front-end's flow control: the caller *is* the
+        backpressure sink, so a full queue means "sleep and retry", not
+        a refusal — and the wait is deliberately not counted in
+        ``stats.rejected``, which stays the admission-refusal signal for
+        interactive :meth:`submit` traffic.  Raises
+        :class:`~repro.errors.ServingError` if the queue closes while
+        waiting.
+        """
+        future: "Future" = Future()
+        # The enqueue timestamp is set once, at arrival: queue_wait then
+        # covers the blocked-for-space time too, which is what a latency
+        # budget actually experienced.
+        item = (request, future, time.perf_counter())
+        while not self._try_enqueue(item):
+            time.sleep(poll_seconds)
+        return future
+
+    def _try_enqueue(self, item) -> bool:
+        """Closed-check + enqueue as one atomic step; False when full.
+
+        Atomic with :meth:`close`'s flag-flip under the same lock, so a
+        submission can never slip in behind the shutdown sentinels and
+        strand a future that no worker will ever resolve.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServingError("cannot submit to a closed ServingQueue")
+            try:
+                self._queue.put_nowait(item)
+            except _queue.Full:
+                return False
+            self.stats.submitted += 1
+            self.stats.peak_depth = max(self.stats.peak_depth, self._queue.qsize())
+        return True
+
+    def detect(
+        self,
+        graph: Any,
+        algorithm: str = "oca",
+        seed: SeedLike = None,
+        **params: Any,
+    ) -> "Future":
+        """Convenience wrapper: build the request and :meth:`submit` it."""
+        return self.submit(
+            ServeRequest(graph=graph, algorithm=algorithm, seed=seed, params=params)
+        )
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._queue.task_done()
+                return
+            request, future, enqueued_at = item
+            try:
+                if not future.set_running_or_notify_cancel():
+                    with self._lock:
+                        self.stats.cancelled += 1
+                    continue
+                wait_seconds = time.perf_counter() - enqueued_at
+                try:
+                    result = self.manager.detect(
+                        request.graph,
+                        request.algorithm,
+                        seed=request.seed,
+                        **request.params,
+                    )
+                except Exception as error:
+                    future.set_exception(error)
+                    with self._lock:
+                        self.stats.failed += 1
+                else:
+                    result.stats["queue_wait_seconds"] = wait_seconds
+                    future.set_result(result)
+                    with self._lock:
+                        self.stats.completed += 1
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until every accepted request has been dispatched and
+        its future resolved (the queue's ``join`` barrier)."""
+        self._queue.join()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the queue; idempotent.
+
+        ``drain=True`` (graceful): no new submissions are accepted,
+        every already-accepted request completes and resolves its
+        future, then the workers exit.  ``drain=False``: pending
+        (undispatched) requests are cancelled — their futures report
+        :meth:`~concurrent.futures.Future.cancelled` — while in-flight
+        dispatches still finish.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain:
+            self._queue.join()
+        else:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except _queue.Empty:
+                    break
+                _, future, _ = item
+                if future.cancel():
+                    with self._lock:
+                        self.stats.cancelled += 1
+                self._queue.task_done()
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "ServingQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"ServingQueue(workers={self.workers}, depth={self.depth}/"
+            f"{self.max_depth}, submitted={self.stats.submitted}, {state})"
+        )

@@ -1,0 +1,381 @@
+"""The serve front-end: JSONL detection requests in, JSON results out.
+
+This is the process boundary of the serving subsystem — the layer the
+``repro-oca serve`` CLI exposes.  It is deliberately socket-free:
+requests stream from any line-iterable (a file, stdin, a test's
+StringIO), responses stream to any writable, so the whole stack is
+testable end-to-end without network plumbing, and a socket server later
+is one adapter away.
+
+Request schema (one JSON object per line)::
+
+    {"id": "r1",                       # optional, echoed back
+     "graph": "path/to/edge_list.txt", # or {"edges": [[u, v], ...]}
+     "fingerprint": "…64 hex…",        # alternative: target a warm session
+     "algorithm": "oca",               # any registered detector
+     "seed": 7,
+     "params": {"batch_size": 4}}      # forwarded to the detector
+
+Response schema (same order as the requests)::
+
+    {"id": "r1", "ok": true, "algorithm": "oca",
+     "fingerprint": "…", "session_hit": true,
+     "communities": [[1, 2, 3], …],
+     "elapsed_seconds": …,    # the detect itself
+     "latency_seconds": …,    # submit -> future resolved
+     "queue_depth": …,        # queued requests at submission
+     "stats": {…}}            # c_source / engine_pool / queue_wait_seconds
+
+    {"id": "r2", "ok": false, "error": "…"}   # per-request failures
+
+Failures are per-request: a malformed line or an unknown algorithm
+produces an ``ok: false`` response and the service keeps serving.
+Graph paths are cached per resolved path, so repeated requests against
+one file hit the same :class:`~repro.graph.Graph` object — and through
+its fingerprint, the same warm session.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import CancelledError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import ServingError
+from ..graph import Graph, read_edge_list
+from .manager import SessionManager
+from .queue import ServeRequest, ServingQueue
+
+__all__ = ["ServingService", "serve_stream"]
+
+#: How long a submitter sleeps when the queue pushes back before
+#: retrying — the batch front-end's flow control (interactive clients
+#: would instead surface the QueueFull to their caller).
+_BACKPRESSURE_SLEEP_SECONDS = 0.002
+
+#: Bound on the per-path graph cache.  Cached graphs pin their compiled
+#: CSR arrays, so an unbounded cache would quietly defeat the manager's
+#: memory budget on long-lived streams touching many distinct paths.
+_GRAPH_CACHE_LIMIT = 32
+
+
+def _sort_key(label: Any) -> Tuple[str, str]:
+    """Total order over mixed-type labels (ints and strs never compare)."""
+    return (type(label).__name__, repr(label))
+
+
+def _serialize_cover(cover) -> List[List[Any]]:
+    """A canonical JSON rendering: sorted members, sorted communities."""
+    communities = [sorted(community, key=_sort_key) for community in cover]
+    communities.sort(key=lambda members: [_sort_key(node) for node in members])
+    return communities
+
+
+@dataclass
+class _Pending:
+    """One submitted request awaiting its response slot."""
+
+    request_id: Any
+    future: Any
+    submitted_at: float
+    depth_at_submit: int
+    done_at: Optional[float] = None
+
+
+class ServingService:
+    """Dispatch JSONL requests through a manager-backed queue.
+
+    Parameters
+    ----------
+    manager:
+        An existing :class:`~repro.serving.SessionManager` to serve
+        from, or ``None`` to own a fresh one built from the remaining
+        keyword arguments.
+    max_sessions / max_memory_bytes / workers / backend / batch_size /
+    representation:
+        Manager construction knobs (ignored when ``manager`` is given).
+    queue_workers / max_depth:
+        :class:`~repro.serving.ServingQueue` sizing.
+    """
+
+    def __init__(
+        self,
+        manager: Optional[SessionManager] = None,
+        max_sessions: int = 4,
+        max_memory_bytes: Optional[int] = None,
+        queue_workers: int = 2,
+        max_depth: int = 64,
+        workers: int = 1,
+        backend: str = "auto",
+        batch_size: Optional[int] = None,
+        representation: str = "auto",
+    ) -> None:
+        self._owns_manager = manager is None
+        # Explicit None-check: SessionManager defines __len__, so a
+        # caller's freshly-built (empty) manager is *falsy* and a bare
+        # `manager or ...` would silently replace it.
+        self.manager = manager if manager is not None else SessionManager(
+            max_sessions=max_sessions,
+            max_memory_bytes=max_memory_bytes,
+            workers=workers,
+            backend=backend,
+            batch_size=batch_size,
+            representation=representation,
+        )
+        self.queue = ServingQueue(
+            self.manager, workers=queue_workers, max_depth=max_depth
+        )
+        self._graph_cache: "OrderedDict[str, Tuple[Tuple[int, int], Graph]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Request parsing
+    # ------------------------------------------------------------------
+    def _resolve_graph(self, payload: Dict[str, Any]) -> Any:
+        """The graph (or warm fingerprint) a request payload names."""
+        if "fingerprint" in payload:
+            fingerprint = payload["fingerprint"]
+            if not isinstance(fingerprint, str):
+                raise ServingError(
+                    f"fingerprint must be a string, got {type(fingerprint).__name__}"
+                )
+            return fingerprint
+        spec = payload.get("graph")
+        if spec is None:
+            raise ServingError("request needs a 'graph' or a 'fingerprint'")
+        if isinstance(spec, str):
+            path = Path(spec).resolve()
+            key = str(path)
+            # stat() both validates existence (a missing file becomes a
+            # per-request error upstream) and keys freshness: a path
+            # rewritten on disk must re-load, never serve the old graph.
+            stat = path.stat()
+            version = (stat.st_mtime_ns, stat.st_size)
+            cached = self._graph_cache.get(key)
+            if cached is not None and cached[0] == version:
+                self._graph_cache.move_to_end(key)
+                return cached[1]
+            graph = read_edge_list(spec)
+            self._graph_cache[key] = (version, graph)
+            while len(self._graph_cache) > _GRAPH_CACHE_LIMIT:
+                self._graph_cache.popitem(last=False)
+            return graph
+        if isinstance(spec, dict) and "edges" in spec:
+            graph = Graph(nodes=spec.get("nodes", ()))
+            for edge in spec["edges"]:
+                u, v = edge
+                graph.add_edge(u, v)
+            return graph
+        raise ServingError(
+            "graph must be an edge-list path or {'edges': [[u, v], ...]}"
+        )
+
+    def _request_from_payload(self, payload: Dict[str, Any]) -> ServeRequest:
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise ServingError("params must be a JSON object")
+        return ServeRequest(
+            graph=self._resolve_graph(payload),
+            algorithm=payload.get("algorithm", "oca"),
+            seed=payload.get("seed"),
+            params=dict(params),
+            id=payload.get("id"),
+        )
+
+    @staticmethod
+    def _payload_from_line(line: str) -> Dict[str, Any]:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ServingError(f"malformed JSON request: {error}") from None
+        if not isinstance(payload, dict):
+            raise ServingError("each request line must be a JSON object")
+        return payload
+
+    def parse_request(self, line: str) -> ServeRequest:
+        """One JSONL line to a :class:`ServeRequest` (raises on bad input)."""
+        return self._request_from_payload(self._payload_from_line(line))
+
+    def _parse_line(
+        self, line: str
+    ) -> "Union[ServeRequest, Dict[str, Any]]":
+        """A request, or a ready error response (id echoed when known).
+
+        *Any* parse-path failure — malformed JSON, a missing edge-list
+        file, a malformed inline edge — becomes a per-request error
+        response rather than an exception: one bad line must never take
+        down the rest of the batch.
+        """
+        request_id = None
+        try:
+            payload = self._payload_from_line(line)
+            request_id = payload.get("id")
+            return self._request_from_payload(payload)
+        except Exception as error:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": str(error) or type(error).__name__,
+            }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _submit_with_backpressure(self, request: ServeRequest) -> _Pending:
+        """Submit, absorbing a full queue by waiting for it to drain."""
+        depth = self.queue.depth
+        future = self.queue.submit_blocking(
+            request, poll_seconds=_BACKPRESSURE_SLEEP_SECONDS
+        )
+        pending = _Pending(
+            request_id=request.id,
+            future=future,
+            submitted_at=time.perf_counter(),
+            depth_at_submit=depth,
+        )
+        future.add_done_callback(
+            lambda _f, p=pending: setattr(p, "done_at", time.perf_counter())
+        )
+        return pending
+
+    def _response(self, pending: _Pending) -> Dict[str, Any]:
+        try:
+            result = pending.future.result()
+        # CancelledError is a BaseException since 3.8 but still a
+        # per-request outcome here; anything else a detect can raise
+        # (config TypeErrors included) is likewise isolated to its own
+        # response rather than aborting the batch.
+        except (Exception, CancelledError) as error:
+            return {
+                "id": pending.request_id,
+                "ok": False,
+                "error": str(error) or type(error).__name__,
+            }
+        latency = (pending.done_at or time.perf_counter()) - pending.submitted_at
+        stats = result.stats
+        return {
+            "id": pending.request_id,
+            "ok": True,
+            "algorithm": result.algorithm,
+            "fingerprint": stats.get("session_fingerprint"),
+            "session_hit": stats.get("session_hit"),
+            "communities": _serialize_cover(result.cover),
+            "elapsed_seconds": result.elapsed_seconds,
+            "latency_seconds": latency,
+            "queue_depth": pending.depth_at_submit,
+            "stats": {
+                key: stats[key]
+                for key in ("c_source", "engine_pool", "queue_wait_seconds")
+                if key in stats
+            },
+        }
+
+    def handle_lines(
+        self, lines: Iterable[str]
+    ) -> "Iterable[Dict[str, Any]]":
+        """Serve an iterable of JSONL lines; yield responses in order.
+
+        Submission is pipelined (each parsed request enters the queue
+        immediately, subject to backpressure) and emission is
+        interleaved: whenever the head-of-line response is ready it is
+        yielded before the next line is read, so completed results never
+        pile up behind a long input — the buffered window is the
+        in-flight work, not the whole stream.  Order is always request
+        order.
+        """
+        pending: "deque[Union[_Pending, Dict[str, Any]]]" = deque()
+
+        def head_ready() -> bool:
+            head = pending[0]
+            return isinstance(head, dict) or head.future.done()
+
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parsed = self._parse_line(line)
+            if isinstance(parsed, dict):
+                pending.append(parsed)
+            else:
+                pending.append(self._submit_with_backpressure(parsed))
+            while pending and head_ready():
+                yield self._emit(pending.popleft())
+        while pending:
+            yield self._emit(pending.popleft())
+
+    def _emit(
+        self, item: "Union[_Pending, Dict[str, Any]]"
+    ) -> Dict[str, Any]:
+        if isinstance(item, dict):
+            return item
+        return self._response(item)
+
+    def serve(
+        self, input_stream: IO[str], output_stream: IO[str]
+    ) -> Dict[str, Any]:
+        """Batch mode: read every request, write every response, summarise.
+
+        Returns the summary the CLI prints to stderr: request counts,
+        manager hit/miss/eviction accounting, latency aggregates, and
+        the queue's peak depth.
+        """
+        started = time.perf_counter()
+        responses = 0
+        failures = 0
+        latencies: List[float] = []
+        for response in self.handle_lines(input_stream):
+            output_stream.write(json.dumps(response, sort_keys=True) + "\n")
+            responses += 1
+            if response.get("ok"):
+                latencies.append(response["latency_seconds"])
+            else:
+                failures += 1
+        output_stream.flush()
+        manager_stats = self.manager.stats
+        return {
+            "requests": responses,
+            "ok": responses - failures,
+            "failed": failures,
+            "wall_seconds": time.perf_counter() - started,
+            "sessions_resident": len(self.manager),
+            "session_hits": manager_stats.hits,
+            "session_misses": manager_stats.misses,
+            "evictions": manager_stats.evictions,
+            "mean_latency_seconds": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "max_latency_seconds": max(latencies) if latencies else 0.0,
+            "peak_queue_depth": self.stats_peak_depth(),
+        }
+
+    def stats_peak_depth(self) -> int:
+        """Deepest the request queue got during this service's lifetime."""
+        return self.queue.stats.peak_depth
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the queue, then close the manager if this service owns it."""
+        self.queue.close(drain=True)
+        if self._owns_manager:
+            self.manager.close()
+
+    def __enter__(self) -> "ServingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_stream(
+    input_stream: IO[str],
+    output_stream: IO[str],
+    **service_kwargs: Any,
+) -> Dict[str, Any]:
+    """One-call batch serving: build a service, serve, drain, summarise."""
+    with ServingService(**service_kwargs) as service:
+        return service.serve(input_stream, output_stream)

@@ -41,6 +41,11 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             OCAConfig(max_growth_steps=-5)
 
+    def test_spectral_solver_validated(self):
+        with pytest.raises(ConfigurationError):
+            OCAConfig(spectral_solver="qr")
+        assert OCAConfig(spectral_solver="lanczos").spectral_solver == "lanczos"
+
 
 class TestDriver:
     def test_empty_graph(self):

@@ -102,3 +102,72 @@ class TestGraphSpectra:
         assert lambda_min(g, seed=0) == pytest.approx(
             min(eigenvalues[0], -1.0), abs=1e-5
         )
+
+
+class TestLanczos:
+    """lambda_min_lanczos: same quantity as lambda_min, different solver."""
+
+    def test_lambda_min_lanczos_complete_graph(self):
+        from repro.core import lambda_min_lanczos
+
+        # K_n: lambda_min = -1 exactly (clamped).
+        assert lambda_min_lanczos(complete_graph(6), seed=0) == pytest.approx(
+            -1.0, abs=1e-6
+        )
+
+    def test_lambda_min_lanczos_cycle(self):
+        from repro.core import lambda_min_lanczos
+
+        assert lambda_min_lanczos(cycle_graph(8), seed=0) == pytest.approx(
+            -2.0, abs=1e-5
+        )
+
+    def test_edgeless_and_tiny_graphs(self):
+        from repro.core import lambda_min_lanczos
+
+        g = Graph(nodes=range(4))
+        assert lambda_min_lanczos(g) == 0.0
+        # n < 3 falls back to the power method internally.
+        pair = Graph()
+        pair.add_edge(0, 1)
+        assert lambda_min_lanczos(pair, seed=0) == pytest.approx(-1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dense_eigensolver(self, seed):
+        from repro.core import lambda_min_lanczos
+        from repro.generators import erdos_renyi
+
+        g = erdos_renyi(24, 0.3, seed=seed)
+        if g.number_of_edges() == 0:
+            return
+        dense = adjacency_matrix(g).toarray()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert lambda_min_lanczos(g, tol=1e-9, seed=0) == pytest.approx(
+            min(eigenvalues[0], -1.0), abs=1e-5
+        )
+
+    def test_solvers_agree_on_admissible_c(self):
+        from repro.core import admissible_c
+        from repro.generators import ring_of_cliques
+
+        g, _ = ring_of_cliques(5, 5)
+        by_power = admissible_c(g, solver="power")
+        by_lanczos = admissible_c(g, solver="lanczos")
+        assert by_lanczos == pytest.approx(by_power, abs=1e-4)
+
+    def test_unknown_solver_rejected(self):
+        from repro.core import admissible_c
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="solver"):
+            admissible_c(complete_graph(4), solver="qr")
+
+    def test_shared_cache_slot_across_solvers(self):
+        from repro.core import shared_admissible_c
+        from repro.generators import ring_of_cliques
+
+        g, _ = ring_of_cliques(4, 5)
+        by_lanczos, hit1 = shared_admissible_c(g, solver="lanczos")
+        cached, hit2 = shared_admissible_c(g, solver="power")
+        assert (hit1, hit2) == (False, True)
+        assert cached == by_lanczos  # one slot, whoever resolved first

@@ -9,7 +9,7 @@ to one-shot calls.
 import pytest
 
 from repro import DetectionRequest, GraphSession, get_detector
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, SessionClosedError
 from repro.generators import ring_of_cliques
 
 
@@ -25,9 +25,42 @@ class TestSessionBasics:
             assert not session.closed
             session.detect("oca", seed=0)
         assert session.closed
-        with pytest.raises(AlgorithmError, match="closed"):
+        with pytest.raises(SessionClosedError, match="closed"):
             session.detect("oca", seed=0)
-        session.close()  # idempotent
+        # A second explicit close is a lifecycle error, loudly — not a
+        # crash somewhere inside the pool teardown path.
+        with pytest.raises(SessionClosedError, match="already-closed"):
+            session.close()
+        # SessionClosedError subclasses the old error type, so callers
+        # that caught AlgorithmError keep working.
+        assert issubclass(SessionClosedError, AlgorithmError)
+
+    def test_close_inside_with_block_exits_cleanly(self, graph):
+        with GraphSession(graph) as session:
+            session.close()
+        assert session.closed  # __exit__ tolerated the early close
+
+    def test_reopen_revives_a_closed_session(self, graph):
+        session = GraphSession(graph)
+        cold = session.detect("oca", seed=0)
+        session.close()
+        assert session.reopen() is session
+        warm = session.detect("oca", seed=0)
+        session.close()
+        assert warm.cover == cold.cover
+        # The compiled graph and spectral cache survive a close/reopen:
+        # only the worker pool is rebuilt.
+        assert warm.stats["c_source"] == "cache"
+        assert warm.stats["compiled_reused"] is True
+        assert session.stats.pools_closed == 2
+        session.reopen().reopen()  # no-op on an open session
+        session.close()
+
+    def test_memory_bytes_reports_compiled_footprint(self, graph):
+        with GraphSession(graph) as session:
+            footprint = session.memory_bytes()
+        assert footprint == session.stats.memory_bytes
+        assert footprint >= session.compiled.nbytes() > 0
 
     def test_rejects_non_graph_input(self):
         with pytest.raises(AlgorithmError):

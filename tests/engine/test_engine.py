@@ -219,3 +219,57 @@ class TestStalenessGuard:
         )
         assert records
         assert sum(r.tasks for r in records) > 0
+
+
+class TestCloseHooks:
+    """Pool shutdown hooks: the serving layer's lifecycle signal."""
+
+    def _run(self, engine, graph):
+        return engine.run(
+            graph,
+            fitness=DirectedLaplacianFitness(0.25),
+            seeding=make_seeding("uncovered"),
+            halting=StagnationHalting(patience=10),
+            seed=0,
+            min_community_size=2,
+        )
+
+    def test_hook_fires_on_each_real_teardown(self):
+        g, _ = ring_of_cliques(4, 5)
+        closures = []
+        engine = ExecutionEngine(persistent=True)
+        engine.add_close_hook(lambda: closures.append("closed"))
+        self._run(engine, g)
+        assert engine.pool_active
+        assert closures == []
+        engine.close()
+        assert closures == ["closed"]
+        assert not engine.pool_active
+        engine.close()  # nothing open: no extra firing
+        assert closures == ["closed"]
+
+    def test_hook_fires_when_incompatible_context_replaces_pool(self):
+        g, _ = ring_of_cliques(4, 5)
+        closures = []
+        engine = ExecutionEngine(persistent=True)
+        engine.add_close_hook(lambda: closures.append("closed"))
+        self._run(engine, g)
+        # A different fitness ships an incompatible context: the old
+        # pool must be torn down (hook fires) before the new one opens.
+        engine.run(
+            g,
+            fitness=DirectedLaplacianFitness(0.5),
+            seeding=make_seeding("uncovered"),
+            halting=StagnationHalting(patience=10),
+            seed=0,
+            min_community_size=2,
+        )
+        assert closures == ["closed"]
+        engine.close()
+        assert closures == ["closed", "closed"]
+
+    def test_non_persistent_engine_never_holds_a_pool(self):
+        g, _ = ring_of_cliques(4, 5)
+        engine = ExecutionEngine()
+        self._run(engine, g)
+        assert not engine.pool_active

@@ -94,3 +94,75 @@ class TestRunReplicates:
         g, _ = ring
         with pytest.raises(AlgorithmError):
             run_replicates("OCA", g, replicates=0)
+
+
+class TestRunSweep:
+    """Multi-graph sweeps routed through one SessionManager."""
+
+    def _graphs(self):
+        return [ring_of_cliques(3, 5)[0], ring_of_cliques(4, 4)[0]]
+
+    def test_sweep_matches_run_replicates_per_graph(self):
+        from repro.experiments import run_sweep
+
+        graphs = self._graphs()
+        sweep = run_sweep("OCA", graphs, replicates=2, seed=9)
+        graph_seeds = spawn_streams(9, len(graphs))
+        for index, graph in enumerate(graphs):
+            reference = run_replicates(
+                "OCA", graph.copy(), replicates=2, seed=graph_seeds[index]
+            )
+            assert [run.cover for run in sweep[index]] == [
+                run.cover for run in reference
+            ]
+
+    def test_sweep_reuses_warm_sessions(self):
+        from repro.experiments import run_sweep
+        from repro.serving import SessionManager
+
+        graphs = self._graphs()
+        with SessionManager(max_sessions=2) as manager:
+            run_sweep("OCA", graphs, replicates=3, seed=1, manager=manager)
+            # One bind per graph; every further replicate was a hit.
+            assert manager.stats.misses == len(graphs)
+            assert manager.stats.hits == len(graphs) * 2
+            assert not manager.closed  # shared managers stay open
+
+    def test_sweep_forwards_engine_knobs(self):
+        from repro.experiments import run_sweep
+
+        graphs = self._graphs()
+        default = run_sweep("OCA", graphs, replicates=1, seed=4)
+        # The engine knobs never change covers — only where they run.
+        tuned = run_sweep(
+            "OCA",
+            graphs,
+            replicates=1,
+            seed=4,
+            workers=2,
+            backend="thread",
+            representation="dict",
+        )
+        assert [runs[0].cover for runs in tuned] == [
+            runs[0].cover for runs in default
+        ]
+
+    def test_sweep_works_for_sequential_baselines(self):
+        from repro.experiments import run_sweep
+
+        graphs = self._graphs()
+        sweep = run_sweep("cpm", graphs, replicates=1, seed=0)
+        assert all(len(runs[0].cover) >= 1 for runs in sweep)
+
+    def test_sweep_validates_replicates(self):
+        from repro.experiments import run_sweep
+
+        with pytest.raises(AlgorithmError):
+            run_sweep("OCA", self._graphs(), replicates=0)
+
+    def test_sweep_rejects_explicit_zero_max_sessions(self):
+        from repro.errors import ConfigurationError
+        from repro.experiments import run_sweep
+
+        with pytest.raises(ConfigurationError):
+            run_sweep("OCA", self._graphs(), replicates=1, max_sessions=0)

@@ -1,0 +1,1 @@
+"""Tests for the multi-graph serving layer (:mod:`repro.serving`)."""

@@ -1,0 +1,99 @@
+"""Fingerprint stability: content in, construction order out.
+
+The serving cache key must identify a graph by *what it is* — node
+labels, edges, label types — and by nothing else: not construction
+order, not endpoint order, not which graph form (mutable or compiled)
+carried it in.
+"""
+
+import pickle
+
+import pytest
+
+from repro import Graph, compile_graph, graph_fingerprint
+from repro.generators import ring_of_cliques
+
+
+@pytest.fixture()
+def graph():
+    g, _ = ring_of_cliques(4, 5)
+    return g
+
+
+def _rebuilt(graph, reverse=False, flip_endpoints=False):
+    """The same content, constructed differently."""
+    edges = list(graph.edges())
+    if reverse:
+        edges = list(reversed(edges))
+    clone = Graph()
+    for u, v in edges:
+        if flip_endpoints:
+            clone.add_edge(v, u)
+        else:
+            clone.add_edge(u, v)
+    for node in graph.nodes():  # isolated nodes, if any
+        clone.add_node(node)
+    return clone
+
+
+class TestStability:
+    def test_same_object_is_stable(self, graph):
+        assert graph_fingerprint(graph) == graph_fingerprint(graph)
+        assert len(graph_fingerprint(graph)) == 64  # sha256 hex
+
+    def test_construction_order_does_not_matter(self, graph):
+        reversed_twin = _rebuilt(graph, reverse=True)
+        flipped_twin = _rebuilt(graph, flip_endpoints=True)
+        assert graph_fingerprint(reversed_twin) == graph_fingerprint(graph)
+        assert graph_fingerprint(flipped_twin) == graph_fingerprint(graph)
+
+    def test_graph_and_compiled_forms_agree(self, graph):
+        compiled = compile_graph(graph)
+        assert graph_fingerprint(compiled) == graph_fingerprint(graph)
+        # Pickled compiled copies (what workers hold) agree too.
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert graph_fingerprint(clone) == graph_fingerprint(graph)
+
+    def test_cached_on_the_compiled_form(self, graph):
+        compiled = compile_graph(graph)
+        first = graph_fingerprint(compiled)
+        assert compiled._fingerprint == first
+        assert graph_fingerprint(compiled) is first  # cache hit, same str
+
+    def test_mutation_changes_the_fingerprint(self, graph):
+        before = graph_fingerprint(graph)
+        graph.add_edge(0, 12)
+        after = graph_fingerprint(graph)
+        assert after != before
+        graph.remove_edge(0, 12)
+        assert graph_fingerprint(graph) == before  # content round-trip
+
+
+class TestSensitivity:
+    def test_different_structure_differs(self, graph):
+        other, _ = ring_of_cliques(5, 4)
+        assert graph_fingerprint(other) != graph_fingerprint(graph)
+
+    def test_label_values_matter(self, graph):
+        shifted = Graph()
+        for u, v in graph.edges():
+            shifted.add_edge(u + 1, v + 1)
+        assert graph_fingerprint(shifted) != graph_fingerprint(graph)
+
+    def test_label_type_matters(self, graph):
+        as_str = Graph()
+        for u, v in graph.edges():
+            as_str.add_edge(str(u), str(v))
+        assert graph_fingerprint(as_str) != graph_fingerprint(graph)
+
+    def test_bool_labels_are_not_int_labels(self):
+        as_int = Graph()
+        as_int.add_edge(0, 1)
+        as_bool = Graph()
+        as_bool.add_edge(False, True)
+        assert graph_fingerprint(as_bool) != graph_fingerprint(as_int)
+
+    def test_isolated_nodes_matter(self, graph):
+        with_isolate = _rebuilt(graph)
+        with_isolate.add_node(999)
+        assert graph_fingerprint(with_isolate) != graph_fingerprint(graph)

@@ -1,0 +1,171 @@
+"""ServingQueue: admission, backpressure, drain, and result fidelity."""
+
+import threading
+
+import pytest
+
+from repro import GraphSession, ServeRequest, ServingQueue, SessionManager
+from repro.errors import ConfigurationError, QueueFull, ServingError
+from repro.generators import ring_of_cliques
+
+
+@pytest.fixture()
+def graph():
+    g, _ = ring_of_cliques(4, 5)
+    return g
+
+
+class _BlockingManager:
+    """A manager stub whose detect blocks until released — lets the
+    tests fill the queue deterministically without timing games."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.calls = 0
+
+    def detect(self, graph, algorithm, seed=None, **params):
+        self.started.set()
+        self.release.wait(timeout=30)
+        self.calls += 1
+
+        class _Result:
+            stats = {}
+            cover = graph
+
+        return _Result()
+
+
+class TestAdmission:
+    def test_submit_returns_future_with_result(self, graph):
+        with SessionManager(max_sessions=2) as manager:
+            with GraphSession(graph.copy()) as session:
+                expected = session.detect("oca", seed=5).cover
+            with ServingQueue(manager, workers=2, max_depth=8) as queue:
+                future = queue.detect(graph, "oca", seed=5)
+                result = future.result(timeout=30)
+            assert result.cover == expected
+            assert result.stats["session_fingerprint"]
+            assert result.stats["queue_wait_seconds"] >= 0.0
+
+    def test_queue_full_backpressure(self):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=2)
+        try:
+            first = queue.submit(ServeRequest(graph="g"))
+            manager.started.wait(timeout=30)  # worker busy on `first`
+            queue.submit(ServeRequest(graph="g"))
+            queue.submit(ServeRequest(graph="g"))
+            with pytest.raises(QueueFull) as excinfo:
+                queue.submit(ServeRequest(graph="g"))
+            assert excinfo.value.depth == 2
+            assert queue.stats.rejected == 1
+            assert queue.depth == 2
+        finally:
+            manager.release.set()
+            queue.close()
+        assert first.result(timeout=30) is not None
+        assert manager.calls == 3
+
+    def test_detect_errors_travel_through_the_future(self, graph):
+        with SessionManager(max_sessions=2) as manager:
+            with ServingQueue(manager, workers=1, max_depth=4) as queue:
+                future = queue.detect(graph, "no-such-algorithm")
+                with pytest.raises(Exception, match="unknown algorithm"):
+                    future.result(timeout=30)
+                assert queue.stats.failed == 1
+                # The queue survives a failed request.
+                ok = queue.detect(graph, "oca", seed=0).result(timeout=30)
+                assert len(ok.cover) >= 1
+
+    def test_blocking_submit_waits_without_counting_rejections(self):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=1)
+        try:
+            queue.submit(ServeRequest(graph="g"))
+            manager.started.wait(timeout=30)
+            queue.submit(ServeRequest(graph="g"))  # fills the queue
+            waited = []
+            blocker = threading.Thread(
+                target=lambda: waited.append(
+                    queue.submit_blocking(ServeRequest(graph="g"))
+                )
+            )
+            blocker.start()
+            blocker.join(timeout=0.1)
+            assert blocker.is_alive()  # genuinely waiting for space
+            manager.release.set()
+            blocker.join(timeout=30)
+            assert not blocker.is_alive()
+        finally:
+            manager.release.set()
+            queue.close()
+        assert waited[0].result(timeout=30) is not None
+        # The wait is flow control, not refusal: rejected stays 0.
+        assert queue.stats.rejected == 0
+        assert queue.stats.submitted == 3
+
+    def test_invalid_sizing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServingQueue(object(), workers=0)
+        with pytest.raises(ConfigurationError):
+            ServingQueue(object(), max_depth=0)
+
+
+class TestShutdown:
+    def test_graceful_drain_completes_accepted_work(self, graph):
+        with SessionManager(max_sessions=2) as manager:
+            queue = ServingQueue(manager, workers=2, max_depth=16)
+            futures = [queue.detect(graph, "oca", seed=s) for s in range(6)]
+            queue.close(drain=True)
+            assert all(future.done() for future in futures)
+            assert queue.stats.completed == 6
+            covers = {futures[0].result().cover == f.result().cover for f in futures[:1]}
+            assert covers == {True}
+
+    def test_non_drain_close_cancels_pending(self):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=8)
+        in_flight = queue.submit(ServeRequest(graph="g"))
+        manager.started.wait(timeout=30)
+        pending = [queue.submit(ServeRequest(graph="g")) for _ in range(3)]
+        manager.release.set()
+        queue.close(drain=False)
+        assert in_flight.done() and not in_flight.cancelled()
+        assert all(future.cancelled() for future in pending)
+        assert queue.stats.cancelled == 3
+
+    def test_submit_after_close_raises(self, graph):
+        with SessionManager(max_sessions=1) as manager:
+            queue = ServingQueue(manager, workers=1, max_depth=4)
+            queue.close()
+            queue.close()  # idempotent
+            with pytest.raises(ServingError, match="closed"):
+                queue.detect(graph, "oca", seed=0)
+
+    def test_drain_without_close(self, graph):
+        with SessionManager(max_sessions=1) as manager:
+            with ServingQueue(manager, workers=1, max_depth=8) as queue:
+                futures = [queue.detect(graph, "oca", seed=s) for s in range(3)]
+                queue.drain()
+                assert all(future.done() for future in futures)
+
+
+class TestConcurrentFidelity:
+    def test_queued_covers_match_direct_sessions(self):
+        graphs = [ring_of_cliques(3 + index, 4)[0] for index in range(3)]
+        expected = []
+        for index, graph in enumerate(graphs):
+            with GraphSession(graph.copy()) as session:
+                expected.append(session.detect("oca", seed=index).cover)
+
+        with SessionManager(max_sessions=3) as manager:
+            with ServingQueue(manager, workers=4, max_depth=64) as queue:
+                futures = [
+                    (index, queue.detect(graphs[index], "oca", seed=index))
+                    for _ in range(4)
+                    for index in range(len(graphs))
+                ]
+                for index, future in futures:
+                    assert future.result(timeout=60).cover == expected[index]
+        assert manager.stats.hits >= len(futures) - len(graphs)

@@ -1,0 +1,225 @@
+"""The JSONL front-end: schemas, error isolation, CLI integration."""
+
+import io
+import json
+
+import pytest
+
+from repro import GraphSession, graph_fingerprint
+from repro.cli import main
+from repro.generators import ring_of_cliques
+from repro.graph import write_edge_list
+from repro.serving import ServingService, serve_stream
+
+
+@pytest.fixture()
+def graph():
+    g, _ = ring_of_cliques(4, 5)
+    return g
+
+
+@pytest.fixture()
+def graph_path(graph, tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+def _cover_from_response(response):
+    return {frozenset(community) for community in response["communities"]}
+
+
+def _request_lines(*payloads):
+    return io.StringIO("\n".join(json.dumps(payload) for payload in payloads))
+
+
+class TestBatchMode:
+    def test_responses_in_request_order_with_ids(self, graph, graph_path):
+        requests = _request_lines(
+            {"id": "first", "graph": graph_path, "algorithm": "oca", "seed": 3},
+            {"id": "second", "graph": graph_path, "algorithm": "oca", "seed": 3},
+            {"id": "third", "graph": graph_path, "algorithm": "cpm"},
+        )
+        output = io.StringIO()
+        summary = serve_stream(requests, output, max_sessions=2)
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert [r["id"] for r in responses] == ["first", "second", "third"]
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["session_hit"] is False
+        assert responses[1]["session_hit"] is True
+        assert responses[0]["fingerprint"] == graph_fingerprint(graph)
+        assert summary["requests"] == 3 and summary["failed"] == 0
+        assert summary["session_hits"] == 2  # second + third share the session
+        # Served covers are byte-identical to a direct session detect.
+        with GraphSession(graph) as session:
+            expected = session.detect("oca", seed=3).cover
+        assert _cover_from_response(responses[0]) == {
+            frozenset(c) for c in expected
+        }
+        assert responses[0]["latency_seconds"] >= responses[0]["elapsed_seconds"]
+
+    def test_inline_edges_and_fingerprint_requests(self, graph):
+        edges = [[u, v] for u, v in graph.edges()]
+        requests = _request_lines(
+            {"id": 1, "graph": {"edges": edges}, "seed": 0},
+            {"id": 2, "fingerprint": graph_fingerprint(graph), "seed": 0},
+        )
+        output = io.StringIO()
+        summary = serve_stream(requests, output, max_sessions=2)
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert all(r["ok"] for r in responses)
+        # The inline graph has the same content => same fingerprint =>
+        # the bare-fingerprint request hit its warm session.
+        assert responses[1]["session_hit"] is True
+        assert _cover_from_response(responses[0]) == _cover_from_response(
+            responses[1]
+        )
+        assert summary["ok"] == 2
+
+    def test_failures_are_per_request(self, graph_path):
+        requests = io.StringIO(
+            "\n".join(
+                [
+                    json.dumps({"id": "bad-algo", "graph": graph_path,
+                                "algorithm": "nope"}),
+                    "this is not json",
+                    json.dumps({"id": "no-graph"}),
+                    json.dumps({"id": "cold-fp", "fingerprint": "0" * 64}),
+                    json.dumps({"id": "ok", "graph": graph_path, "seed": 1}),
+                ]
+            )
+        )
+        output = io.StringIO()
+        summary = serve_stream(requests, output, max_sessions=2)
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert [r["ok"] for r in responses] == [False, False, False, False, True]
+        assert "unknown algorithm" in responses[0]["error"]
+        assert "malformed JSON" in responses[1]["error"]
+        assert "graph" in responses[2]["error"]
+        assert "no warm session" in responses[3]["error"]
+        # Every failure that could be attributed carries its request id.
+        assert [r["id"] for r in responses] == [
+            "bad-algo", None, "no-graph", "cold-fp", "ok",
+        ]
+        assert summary == {**summary, "requests": 5, "ok": 1, "failed": 4}
+
+    def test_non_repro_errors_are_isolated_per_request(self, graph_path, tmp_path):
+        """A missing file, a malformed edge, or a params TypeError must
+        produce an ok:false response — never abort the batch."""
+        requests = _request_lines(
+            {"id": "gone", "graph": str(tmp_path / "missing.edges"), "seed": 0},
+            {"id": "triple", "graph": {"edges": [[1, 2, 3]]}, "seed": 0},
+            {"id": "badparam", "graph": graph_path,
+             "params": {"batch_size": "four"}},
+            {"id": "fine", "graph": graph_path, "seed": 0},
+        )
+        output = io.StringIO()
+        summary = serve_stream(requests, output, max_sessions=2)
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert [r["id"] for r in responses] == ["gone", "triple", "badparam", "fine"]
+        assert [r["ok"] for r in responses] == [False, False, False, True]
+        assert all(r["error"] for r in responses[:3])
+        assert summary["failed"] == 3 and summary["ok"] == 1
+
+    def test_blank_lines_and_comments_are_skipped(self, graph_path):
+        requests = io.StringIO(
+            "\n# a comment\n\n"
+            + json.dumps({"id": 9, "graph": graph_path, "seed": 2})
+            + "\n"
+        )
+        output = io.StringIO()
+        summary = serve_stream(requests, output)
+        assert summary["requests"] == 1
+
+    def test_supplied_manager_is_used_even_when_empty(self, graph_path):
+        from repro import SessionManager
+
+        # A fresh manager is len()==0 and therefore falsy — it must
+        # still be honoured (and left open) by the service.
+        with SessionManager(max_sessions=7) as manager:
+            with ServingService(manager=manager) as service:
+                assert service.manager is manager
+                responses = list(
+                    service.handle_lines(
+                        [json.dumps({"id": 0, "graph": graph_path, "seed": 1})]
+                    )
+                )
+                assert responses[0]["ok"]
+            assert not manager.closed  # caller-owned managers stay open
+            assert manager.stats.misses == 1
+
+    def test_graph_path_cache_shares_sessions(self, graph_path):
+        with ServingService(max_sessions=4) as service:
+            requests = [
+                json.dumps({"id": i, "graph": graph_path, "seed": i})
+                for i in range(4)
+            ]
+            responses = list(service.handle_lines(requests))
+            assert all(r["ok"] for r in responses)
+            assert service.manager.stats.misses == 1
+            assert service.manager.stats.hits == 3
+
+    def test_rewritten_graph_file_is_reloaded(self, tmp_path):
+        import os
+
+        from repro.generators import ring_of_cliques
+        from repro.graph import write_edge_list
+
+        path = tmp_path / "mutable.edges"
+        first, _ = ring_of_cliques(3, 4)
+        write_edge_list(first, path)
+        request = json.dumps({"id": 0, "graph": str(path), "seed": 0})
+        with ServingService(max_sessions=4) as service:
+            before = list(service.handle_lines([request]))[0]
+            # Rewrite the file in place with a different graph (and
+            # force a distinct mtime for coarse filesystem clocks).
+            second, _ = ring_of_cliques(5, 4)
+            write_edge_list(second, path)
+            os.utime(path, ns=(1, 1))
+            after = list(service.handle_lines([request]))[0]
+        assert before["ok"] and after["ok"]
+        # The stale cache entry must not serve the old graph's cover.
+        assert before["fingerprint"] != after["fingerprint"]
+        assert after["fingerprint"] == graph_fingerprint(second)
+
+
+class TestCLI:
+    def test_serve_roundtrip_through_files(self, graph, graph_path, tmp_path, capsys):
+        requests_path = tmp_path / "requests.jsonl"
+        output_path = tmp_path / "responses.jsonl"
+        requests_path.write_text(
+            "\n".join(
+                json.dumps({"id": i, "graph": graph_path, "seed": 5})
+                for i in range(3)
+            )
+        )
+        rc = main(
+            [
+                "serve",
+                "--requests", str(requests_path),
+                "--output", str(output_path),
+                "--max-sessions", "2",
+                "--queue-workers", "2",
+            ]
+        )
+        assert rc == 0
+        summary_line = capsys.readouterr().err
+        assert "served 3 request(s)" in summary_line
+        responses = [
+            json.loads(line) for line in output_path.read_text().splitlines()
+        ]
+        assert len(responses) == 3
+        with GraphSession(graph) as session:
+            expected = {frozenset(c) for c in session.detect("oca", seed=5).cover}
+        assert all(_cover_from_response(r) == expected for r in responses)
+
+    def test_serve_nonzero_exit_on_failures(self, graph_path, tmp_path, capsys):
+        requests_path = tmp_path / "requests.jsonl"
+        requests_path.write_text(
+            json.dumps({"id": 0, "graph": graph_path, "algorithm": "nope"})
+        )
+        rc = main(["serve", "--requests", str(requests_path), "--quiet"])
+        assert rc == 1
+        out = capsys.readouterr()
+        assert json.loads(out.out)["ok"] is False
+        assert out.err == ""  # --quiet suppressed the summary
