@@ -1,0 +1,406 @@
+"""Socket front-end: concurrent-clients throughput and deadline shedding.
+
+The TCP server (ISSUE 5) adapts the PR-4 serving stack to remote
+clients; this bench measures exactly the semantics it added, on the
+established LFR family and seeds (bench_csr / bench_session /
+bench_serving):
+
+* **single vs concurrent clients** — one client streaming warm
+  fingerprint requests, then the same request volume split across
+  several concurrent connections: the round-robin admission and the
+  shared queue must sustain (not collapse under) multi-client traffic;
+* **deadline shedding** — a saturated queue (one dispatch worker, a
+  burst of requests) where half the requests carry a tight
+  ``deadline_seconds``: shed requests must be answered ``ok: false``
+  without their detect ever running, and the served/shed split is
+  recorded;
+* **fidelity** — socket-served covers are byte-identical to direct
+  ``GraphSession.detect`` (the acceptance-matrix contract, re-verified
+  end to end over a real TCP connection).
+
+Also runnable standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_socket.py              # full sweep
+    PYTHONPATH=src python benchmarks/bench_socket.py --smoke      # CI-sized
+
+The full sweep (n in {2000, 6000, 20000}) writes machine-readable
+results to ``BENCH_socket.json`` at the repository root — the same
+record format as the BENCH_*.json trajectory; ``--smoke`` runs one
+small size and writes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import socket
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro import GraphSession
+from repro.generators import LFRParams, lfr_graph
+from repro.graph import read_edge_list, write_edge_list
+from repro.serving import ServingService, start_server_thread
+from repro.serving.service import _serialize_cover
+
+#: Same sizes as bench_csr / bench_session / bench_serving.
+FULL_SIZES = (2000, 6000, 20000)
+SMOKE_SIZES = (300,)
+
+#: Distinct graphs per size (the resident warm-session set).
+GRAPHS = 3
+
+#: Warm requests per measurement phase (single-client and concurrent
+#: phases each serve this many, so the phases are comparable).
+REQUESTS = 12
+
+#: Concurrent connections in the multi-client phase.
+CLIENTS = 4
+
+#: The deadline-shed burst: this many requests, every other one
+#: carrying a deadline far tighter than the queue can clear.
+SHED_BURST = 10
+SHED_DEADLINE_SECONDS = 0.05
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_socket.json"
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_graph(n: int, seed: int):
+    """The bench_csr LFR family: dense communities, heavy tasks."""
+    params = LFRParams(
+        n=n,
+        mu=0.3,
+        average_degree=min(40.0, max(8.0, n / 25)),
+        max_degree=min(100, max(20, n // 10)),
+        min_community=min(60, max(10, n // 20)),
+        max_community=min(120, max(20, n // 10)),
+    )
+    return lfr_graph(params, seed=seed).graph
+
+
+@dataclass
+class SizeResult:
+    """Every measurement for one graph size."""
+
+    n: int
+    m_total: int
+    graphs: int
+    requests: int
+    clients: int
+    single_client_seconds: float
+    multi_client_seconds: float
+    single_client_rps: float
+    multi_client_rps: float
+    multi_vs_single_ratio: float
+    mean_latency_seconds: float
+    shed_burst: int
+    shed_deadline_seconds: float
+    shed_expired: int
+    shed_served: int
+    covers_match_direct: bool
+
+
+class _Client:
+    """A blocking JSONL client over one TCP connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._sock = socket.create_connection((host, port), timeout=120)
+        self._stream = self._sock.makefile("rw", encoding="utf-8")
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self.send(payload)
+        return self.receive()
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        self._stream.write(json.dumps(payload) + "\n")
+        self._stream.flush()
+
+    def receive(self) -> Dict[str, Any]:
+        line = self._stream.readline()
+        if not line:
+            raise AssertionError("server closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+def _stream_requests(
+    host: str, port: int, payloads: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Pipeline a payload list over one connection; responses in order."""
+    client = _Client(host, port)
+    try:
+        for payload in payloads:
+            client.send(payload)
+        return [client.receive() for _ in payloads]
+    finally:
+        client.close()
+
+
+def _round_robin_payloads(
+    fingerprints: List[str], count: int, seed_base: int
+) -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": index,
+            "fingerprint": fingerprints[index % len(fingerprints)],
+            "seed": seed_base + index,
+        }
+        for index in range(count)
+    ]
+
+
+def measure_size(n: int, seed: int, echo=print) -> SizeResult:
+    """Run the socket comparison for one graph size."""
+    graphs = [build_graph(n, seed + index) for index in range(GRAPHS)]
+    m_total = sum(graph.number_of_edges() for graph in graphs)
+    echo(f"-- LFR n={n} x{GRAPHS} graphs, m_total={m_total}")
+
+    tmp = tempfile.mkdtemp(prefix="bench_socket_")
+    paths = []
+    for index, graph in enumerate(graphs):
+        path = Path(tmp) / f"graph_{index}.edges"
+        write_edge_list(graph, path)
+        paths.append(str(path))
+
+    service = ServingService(
+        max_sessions=GRAPHS,
+        queue_workers=2,
+        max_depth=max(64, CLIENTS * REQUESTS),
+    )
+    with start_server_thread(
+        service=service, max_inflight_per_client=max(64, REQUESTS)
+    ) as handle:
+        # Bind every graph once (the cold cost is bench_serving's
+        # subject, not this one's) and collect fingerprints.
+        warm = _Client(handle.host, handle.port)
+        fingerprints = []
+        for index, path in enumerate(paths):
+            response = warm.request({"id": f"warm-{index}", "graph": path,
+                                     "seed": 0})
+            assert response["ok"], response
+            fingerprints.append(response["fingerprint"])
+        warm.close()
+
+        # Phase 1: one client streams the whole request volume.
+        payloads = _round_robin_payloads(fingerprints, REQUESTS, seed_base=1)
+        start = time.perf_counter()
+        single_responses = _stream_requests(handle.host, handle.port, payloads)
+        single_seconds = time.perf_counter() - start
+        assert all(r["ok"] for r in single_responses)
+
+        # Phase 2: the same volume split across concurrent connections.
+        per_client = REQUESTS // CLIENTS or 1
+        results: List[List[Dict[str, Any]]] = [[] for _ in range(CLIENTS)]
+
+        def run_client(index: int) -> None:
+            results[index] = _stream_requests(
+                handle.host,
+                handle.port,
+                _round_robin_payloads(
+                    fingerprints, per_client, seed_base=100 * (index + 1)
+                ),
+            )
+
+        threads = [
+            threading.Thread(target=run_client, args=(index,))
+            for index in range(CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        multi_seconds = time.perf_counter() - start
+        multi_responses = [r for batch in results for r in batch]
+        assert all(r["ok"] for r in multi_responses)
+        multi_requests = per_client * CLIENTS
+
+        latencies = [
+            r["latency_seconds"] for r in single_responses + multi_responses
+        ]
+
+        # Fidelity: a socket cover equals the direct-session cover on
+        # the same graph the server loaded (covers are a function of
+        # construction order, so the reference reads the same file).
+        with GraphSession(read_edge_list(paths[0])) as session:
+            expected = _serialize_cover(session.detect("oca", seed=1).cover)
+        covers_match = single_responses[0]["communities"] == expected
+
+        deadline_before = handle.stats.deadline_expired
+
+    # Deadline shedding wants a saturated single-worker queue — its own
+    # server so the throughput phases above keep two dispatch workers.
+    shed_service = ServingService(
+        max_sessions=GRAPHS, queue_workers=1, max_depth=max(64, SHED_BURST)
+    )
+    with start_server_thread(
+        service=shed_service, max_inflight_per_client=max(64, SHED_BURST)
+    ) as shed_handle:
+        warm = _Client(shed_handle.host, shed_handle.port)
+        response = warm.request({"id": "warm", "graph": paths[0], "seed": 0})
+        assert response["ok"], response
+        fingerprint = response["fingerprint"]
+        warm.close()
+        payloads = []
+        for index in range(SHED_BURST):
+            payload = {"id": index, "fingerprint": fingerprint,
+                       "seed": 1 + index}
+            if index % 2:  # every other request has a hopeless deadline
+                payload["deadline_seconds"] = SHED_DEADLINE_SECONDS
+            payloads.append(payload)
+        shed_responses = _stream_requests(
+            shed_handle.host, shed_handle.port, payloads
+        )
+        shed_expired = sum(
+            1
+            for r in shed_responses
+            if not r["ok"] and "deadline" in r["error"]
+        )
+        shed_served = sum(1 for r in shed_responses if r["ok"])
+        assert shed_expired == shed_handle.stats.deadline_expired
+        # Every response is accounted one way or the other: nothing
+        # vanished, nothing raised.
+        assert shed_expired + shed_served == SHED_BURST
+    shed_service.close()
+    service.close()
+    assert handle.stats.deadline_expired == deadline_before == 0
+
+    single_rps = len(single_responses) / single_seconds
+    multi_rps = multi_requests / multi_seconds
+    echo(
+        f"   single-client {single_rps:.2f} req/s | {CLIENTS} clients "
+        f"{multi_rps:.2f} req/s (x{multi_rps / single_rps:.2f}) | "
+        f"deadline burst: {shed_served} served, {shed_expired} shed | "
+        f"covers match: {covers_match}"
+    )
+    if not covers_match:
+        raise AssertionError(
+            f"socket contract violated at n={n}: served cover differs "
+            "from the direct GraphSession cover"
+        )
+    return SizeResult(
+        n=n,
+        m_total=m_total,
+        graphs=GRAPHS,
+        requests=len(single_responses) + multi_requests,
+        clients=CLIENTS,
+        single_client_seconds=single_seconds,
+        multi_client_seconds=multi_seconds,
+        single_client_rps=single_rps,
+        multi_client_rps=multi_rps,
+        multi_vs_single_ratio=multi_rps / single_rps,
+        mean_latency_seconds=sum(latencies) / len(latencies),
+        shed_burst=SHED_BURST,
+        shed_deadline_seconds=SHED_DEADLINE_SECONDS,
+        shed_expired=shed_expired,
+        shed_served=shed_served,
+        covers_match_direct=covers_match,
+    )
+
+
+def run_bench(sizes=FULL_SIZES, seed: int = 2, echo=print) -> List[SizeResult]:
+    """Measure every size; returns the per-size results."""
+    echo(
+        f"socket serving bench: sizes {list(sizes)}, {GRAPHS} graphs per "
+        f"size, {CLIENTS} clients, {_available_cpus()} CPU(s)"
+    )
+    return [measure_size(n, seed=seed, echo=echo) for n in sizes]
+
+
+def write_json(results: List[SizeResult], path: Path = _JSON_PATH) -> None:
+    """Emit the machine-readable benchmark record (BENCH_csr.json format)."""
+    payload = {
+        "benchmark": "bench_socket",
+        "description": (
+            "TCP socket front-end: warm fingerprint-request throughput "
+            "for one client vs several concurrent clients (round-robin "
+            "admission over one shared queue), deadline-shed accounting "
+            "under a saturated single-worker queue, and socket covers "
+            "byte-identical to direct GraphSession detects"
+        ),
+        "family": "lfr",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": _available_cpus(),
+        "unix_time": int(time.time()),
+        "results": [asdict(result) for result in results],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark wrapper
+# ----------------------------------------------------------------------
+def test_socket_serving_sustains_concurrent_clients(benchmark):
+    from conftest import run_once
+
+    lines: List[str] = []
+    results = run_once(benchmark, run_bench, sizes=(2000,), echo=lines.append)
+    print()
+    for line in lines:
+        print(line)
+    result = results[0]
+    assert result.covers_match_direct
+    assert result.shed_expired >= 1  # the saturated queue really shed
+    assert result.shed_expired + result.shed_served == result.shed_burst
+    # Concurrency must not collapse throughput (1 CPU: parity is fine).
+    assert result.multi_vs_single_ratio >= 0.5
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small size, no JSON output (CI smoke check)",
+    )
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="override the size sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.sizes:
+        sizes = tuple(args.sizes)
+    else:
+        sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    results = run_bench(sizes=sizes, seed=args.seed)
+    if not args.smoke:
+        write_json(results)
+        print(f"wrote {_JSON_PATH}")
+    starved = [r for r in results if r.multi_vs_single_ratio < 0.5]
+    if starved:
+        print(
+            "WARNING: concurrent-client throughput collapsed at "
+            + ", ".join(
+                f"n={r.n} (x{r.multi_vs_single_ratio:.2f})" for r in starved
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

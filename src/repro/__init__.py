@@ -22,8 +22,11 @@ The package implements:
   :class:`~repro.serving.SessionManager` keeps a bounded LRU of warm
   sessions keyed by content fingerprint,
   :class:`~repro.serving.ServingQueue` adds bounded asynchronous
-  admission with backpressure, and ``repro-oca serve`` exposes both as
-  a JSONL request/response front-end;
+  admission with backpressure and deadline-aware request shedding, and
+  ``repro-oca serve`` exposes both as a JSONL request/response
+  front-end — batch (stdin/files) or TCP
+  (:class:`~repro.serving.ServingServer`, ``--listen HOST:PORT``, with
+  round-robin per-client fairness);
 * the **benchmarks** of its evaluation — the LFR generator, the daisy /
   daisy-tree overlapping benchmark, and a Wikipedia-scale synthetic graph
   (:mod:`repro.generators`);
@@ -78,6 +81,7 @@ from .errors import (
     ServingError,
     SessionClosedError,
     QueueFull,
+    DeadlineExceeded,
 )
 from .graph import CompiledGraph, Graph, compile_graph
 from .communities import Community, Cover, Partition, rho, theta
@@ -97,12 +101,13 @@ from .serving import (
     ManagerStats,
     ServeRequest,
     ServingQueue,
+    ServingServer,
     ServingService,
     SessionManager,
     graph_fingerprint,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -136,11 +141,13 @@ __all__ = [
     "ServingError",
     "SessionClosedError",
     "QueueFull",
+    "DeadlineExceeded",
     "graph_fingerprint",
     "SessionManager",
     "ManagerStats",
     "ServingQueue",
     "ServeRequest",
+    "ServingServer",
     "ServingService",
     "OCA",
     "OCAConfig",

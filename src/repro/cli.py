@@ -15,7 +15,11 @@ Subcommands:
     :class:`~repro.serving.SessionManager` + bounded
     :class:`~repro.serving.ServingQueue`, and emit one JSON result per
     request with latency and queue-depth annotations (see
-    :mod:`repro.serving.service` for both schemas).
+    :mod:`repro.serving.service` for both schemas).  With
+    ``--listen HOST:PORT`` the same stack is served over TCP instead
+    (:mod:`repro.serving.server`): one JSONL stream per connection,
+    round-robin admission across clients, per-client in-flight caps,
+    and ``deadline_seconds`` request shedding.
 ``experiment``
     Regenerate one paper artefact (table1, figure2 .. figure6,
     wikipedia) and print its data table.
@@ -144,6 +148,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve over TCP instead of stdin/stdout: bind here (port 0 "
+            "picks a free port), speak the same JSONL request/response "
+            "schema per connection, round-robin admission across "
+            "clients; stop with Ctrl-C"
+        ),
+    )
+    serve.add_argument(
+        "--client-inflight",
+        type=int,
+        default=8,
+        help=(
+            "socket mode: per-client cap on outstanding requests; lines "
+            "beyond it are answered ok:false \"queue full\" immediately"
+        ),
+    )
+    serve.add_argument(
         "--requests",
         default=None,
         help="JSONL request file (default: read stdin until EOF)",
@@ -269,6 +293,67 @@ def _command_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(value: str):
+    host, _, port_text = value.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(
+            f"--listen expects HOST:PORT, got {value!r}"
+        )
+    return host, int(port_text)
+
+
+def _command_serve_socket(args: argparse.Namespace, max_memory_bytes) -> int:
+    import asyncio
+
+    from .serving import ServingServer, ServingService
+
+    host, port = _parse_listen(args.listen)
+    service = ServingService(
+        max_sessions=args.max_sessions,
+        max_memory_bytes=max_memory_bytes,
+        queue_workers=args.queue_workers,
+        max_depth=args.max_depth,
+        workers=args.workers,
+        backend=args.backend,
+        batch_size=args.batch_size,
+    )
+    server = ServingServer(
+        service=service,
+        host=host,
+        port=port,
+        max_inflight_per_client=args.client_inflight,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        print(
+            f"listening on {server.host}:{server.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    if not args.quiet:
+        stats = server.stats
+        print(
+            f"served {stats.responses} response(s) to {stats.clients_total} "
+            f"client(s): {stats.ok} ok, {stats.failed} failed "
+            f"({stats.queue_full_rejections} queue-full, "
+            f"{stats.deadline_expired} past deadline)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from .serving import serve_stream
 
@@ -277,6 +362,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         if args.max_memory_mb is None
         else int(args.max_memory_mb * 1024 * 1024)
     )
+
+    if args.listen is not None:
+        return _command_serve_socket(args, max_memory_bytes)
 
     def run(input_stream, output_stream):
         return serve_stream(

@@ -8,7 +8,8 @@ sub-classes mirror the package layout: graph construction problems raise
 :class:`GeneratorError`, algorithm configuration problems raise
 :class:`AlgorithmError`, and the multi-graph serving layer raises
 :class:`ServingError` (with :class:`SessionClosedError` for lifecycle
-misuse and :class:`QueueFull` for backpressure).
+misuse, :class:`QueueFull` for backpressure, and
+:class:`DeadlineExceeded` for requests shed past their deadline).
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ __all__ = [
     "ServingError",
     "SessionClosedError",
     "QueueFull",
+    "DeadlineExceeded",
 ]
 
 
@@ -118,3 +120,19 @@ class QueueFull(ServingError):
     def __init__(self, message: str, depth: int) -> None:
         super().__init__(message)
         self.depth = depth
+
+
+class DeadlineExceeded(ServingError):
+    """A queued request's deadline passed before a worker reached it.
+
+    The request was *shed*, not run: its detect never started, so the
+    work nobody is waiting for is never paid.  Carries the deadline the
+    caller asked for and how long the request actually waited.
+    """
+
+    def __init__(
+        self, message: str, deadline_seconds: float, waited_seconds: float
+    ) -> None:
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+        self.waited_seconds = waited_seconds

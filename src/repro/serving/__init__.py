@@ -15,7 +15,11 @@ process:
   asynchronous admission with :class:`~repro.errors.QueueFull`
   backpressure, per-request futures, and graceful drain;
 * :mod:`~repro.serving.service` — :class:`ServingService`, the
-  socket-free JSONL front-end behind ``repro-oca serve``.
+  socket-free JSONL front-end behind ``repro-oca serve``;
+* :mod:`~repro.serving.server` — :class:`ServingServer`, the asyncio
+  TCP adapter over the same queue (``repro-oca serve --listen``), with
+  round-robin per-client fairness, per-client in-flight caps, and
+  deadline-aware request shedding.
 
 Quickstart::
 
@@ -40,6 +44,12 @@ in behind these interfaces.
 from .fingerprint import graph_fingerprint
 from .manager import ManagerStats, SessionManager
 from .queue import QueueStats, ServeRequest, ServingQueue
+from .server import (
+    ServerHandle,
+    ServerStats,
+    ServingServer,
+    start_server_thread,
+)
 from .service import ServingService, serve_stream
 
 __all__ = [
@@ -49,6 +59,10 @@ __all__ = [
     "QueueStats",
     "ServeRequest",
     "ServingQueue",
+    "ServerHandle",
+    "ServerStats",
+    "ServingServer",
     "ServingService",
     "serve_stream",
+    "start_server_thread",
 ]

@@ -15,6 +15,10 @@ classic bounded request queue in front of the manager:
   :class:`~repro.errors.QueueFull` (backpressure: the caller decides
   whether to retry, shed, or block), never by silently buffering
   unboundedly;
+* a request carrying ``deadline_seconds`` that is still queued when its
+  deadline passes is *shed*: the worker resolves its future with
+  :class:`~repro.errors.DeadlineExceeded` instead of running a detect
+  nobody is waiting for;
 * :meth:`ServingQueue.close` drains gracefully by default — accepted
   work completes, its futures resolve — or cancels pending requests
   with ``drain=False``.
@@ -35,12 +39,42 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from .._rng import SeedLike
-from ..errors import ConfigurationError, QueueFull, ServingError
+from ..errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    QueueFull,
+    ServingError,
+)
 
-__all__ = ["ServeRequest", "QueueStats", "ServingQueue"]
+__all__ = [
+    "ServeRequest",
+    "QueueStats",
+    "ServingQueue",
+    "validate_deadline_seconds",
+]
 
 #: Worker-loop shutdown marker.
 _SENTINEL = None
+
+
+def validate_deadline_seconds(
+    deadline: Any, error_cls: type = ConfigurationError
+) -> None:
+    """The one rule for ``deadline_seconds``: a positive real number.
+
+    Shared by parse-time (service, raising
+    :class:`~repro.errors.ServingError`) and submit-time (this queue,
+    raising :class:`~repro.errors.ConfigurationError`) validation so
+    the two acceptance points can never drift apart.
+    """
+    if deadline is not None and (
+        isinstance(deadline, bool)
+        or not isinstance(deadline, (int, float))
+        or not deadline > 0
+    ):
+        raise error_cls(
+            f"deadline_seconds must be a positive number, got {deadline!r}"
+        )
 
 
 @dataclass
@@ -56,6 +90,20 @@ class ServeRequest:
         Forwarded verbatim to :meth:`SessionManager.detect`.
     id:
         Opaque caller tag, echoed by the service layer into responses.
+    deadline_seconds:
+        Optional latency budget, measured from arrival (see
+        ``arrived_at``; submission time when unset).  A request still
+        queued when the budget runs out is shed: its future resolves
+        with :class:`~repro.errors.DeadlineExceeded` and its detect
+        never runs.  A request *dispatched* in time always completes —
+        the deadline governs queueing, not execution.
+    arrived_at:
+        Optional ``time.perf_counter()`` stamp of when the request
+        entered the serving system.  Front-ends that hold requests
+        before submitting (the socket server's admission stage) set it
+        so the deadline clock and ``queue_wait_seconds`` cover that
+        held time too — a latency budget measures what the caller
+        experienced, not what the queue happened to see.
     """
 
     graph: Any
@@ -63,17 +111,28 @@ class ServeRequest:
     seed: SeedLike = None
     params: Dict[str, Any] = field(default_factory=dict)
     id: Optional[Any] = None
+    deadline_seconds: Optional[float] = None
+    arrived_at: Optional[float] = None
 
 
 @dataclass
 class QueueStats:
-    """Aggregate accounting of one queue's admission behaviour."""
+    """Aggregate accounting of one queue's admission behaviour.
+
+    ``rejected`` counts full-queue refusals (the backpressure signal),
+    ``rejected_closed`` counts submissions refused because the queue was
+    already closed (a post-shutdown submit storm is visible here, not
+    silent), and ``expired`` counts requests shed by their deadline
+    while still queued.
+    """
 
     submitted: int = 0
     completed: int = 0
     failed: int = 0
     cancelled: int = 0
     rejected: int = 0
+    rejected_closed: int = 0
+    expired: int = 0
     peak_depth: int = 0
 
 
@@ -104,6 +163,10 @@ class ServingQueue:
         self.max_depth = max_depth
         self._queue: "_queue.Queue" = _queue.Queue(maxsize=max_depth)
         self._lock = threading.Lock()
+        # Space waiters (blocking submitters) park here; workers notify
+        # after every dequeue and close() wakes everyone so nobody is
+        # left waiting on a queue that will never drain for them.
+        self._space = threading.Condition(self._lock)
         self._closed = False
         self.stats = QueueStats()
         self._threads = [
@@ -135,8 +198,14 @@ class ServingQueue:
         ``max_depth`` (the backpressure signal) and
         :class:`~repro.errors.ServingError` after :meth:`close`.
         """
+        self._validate(request)
         future: "Future" = Future()
-        item = (request, future, time.perf_counter())
+        arrived = (
+            request.arrived_at
+            if request.arrived_at is not None
+            else time.perf_counter()
+        )
+        item = (request, future, arrived)
         if not self._try_enqueue(item):
             with self._lock:
                 self.stats.rejected += 1
@@ -148,26 +217,66 @@ class ServingQueue:
         return future
 
     def submit_blocking(
-        self, request: ServeRequest, poll_seconds: float = 0.002
+        self, request: ServeRequest, timeout: Optional[float] = None
     ) -> "Future":
         """Like :meth:`submit`, but wait for space instead of refusing.
 
         The batch front-end's flow control: the caller *is* the
-        backpressure sink, so a full queue means "sleep and retry", not
-        a refusal — and the wait is deliberately not counted in
-        ``stats.rejected``, which stays the admission-refusal signal for
-        interactive :meth:`submit` traffic.  Raises
-        :class:`~repro.errors.ServingError` if the queue closes while
-        waiting.
+        backpressure sink, so a full queue means "wait for a dequeue",
+        not a refusal — the wait parks on a condition variable a worker
+        notifies after every dequeue, so there is no poll loop and the
+        submitter wakes the moment space exists.  The wait is
+        deliberately not counted in ``stats.rejected``, which stays the
+        admission-refusal signal for interactive :meth:`submit` traffic.
+
+        ``timeout`` bounds the whole wait: when the queue stays full
+        that long, :class:`~repro.errors.QueueFull` is raised (and
+        counted as a rejection — the request *was* refused, just
+        slowly).  Raises :class:`~repro.errors.ServingError` if the
+        queue is closed, or closes while waiting.
         """
+        self._validate(request)
         future: "Future" = Future()
-        # The enqueue timestamp is set once, at arrival: queue_wait then
-        # covers the blocked-for-space time too, which is what a latency
-        # budget actually experienced.
-        item = (request, future, time.perf_counter())
-        while not self._try_enqueue(item):
-            time.sleep(poll_seconds)
-        return future
+        # The enqueue timestamp is set once, at arrival: queue_wait (and
+        # any deadline) then covers the blocked-for-space time too,
+        # which is what a latency budget actually experienced.
+        now = time.perf_counter()
+        arrived = request.arrived_at if request.arrived_at is not None else now
+        item = (request, future, arrived)
+        give_up_at = None if timeout is None else now + timeout
+        with self._space:
+            while True:
+                if self._closed:
+                    self.stats.rejected_closed += 1
+                    raise ServingError(
+                        "cannot submit to a closed ServingQueue"
+                    )
+                try:
+                    self._queue.put_nowait(item)
+                except _queue.Full:
+                    remaining = (
+                        None
+                        if give_up_at is None
+                        else give_up_at - time.perf_counter()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        self.stats.rejected += 1
+                        raise QueueFull(
+                            "serving queue stayed at max_depth="
+                            f"{self.max_depth} for {timeout}s",
+                            depth=self.max_depth,
+                        )
+                    self._space.wait(remaining)
+                    continue
+                self.stats.submitted += 1
+                self.stats.peak_depth = max(
+                    self.stats.peak_depth, self._queue.qsize()
+                )
+                return future
+
+    @staticmethod
+    def _validate(request: ServeRequest) -> None:
+        validate_deadline_seconds(request.deadline_seconds)
 
     def _try_enqueue(self, item) -> bool:
         """Closed-check + enqueue as one atomic step; False when full.
@@ -178,6 +287,7 @@ class ServingQueue:
         """
         with self._lock:
             if self._closed:
+                self.stats.rejected_closed += 1
                 raise ServingError("cannot submit to a closed ServingQueue")
             try:
                 self._queue.put_nowait(item)
@@ -203,6 +313,9 @@ class ServingQueue:
     def _worker_loop(self) -> None:
         while True:
             item = self._queue.get()
+            # A dequeue is a space event: wake one blocked submitter.
+            with self._space:
+                self._space.notify()
             if item is _SENTINEL:
                 self._queue.task_done()
                 return
@@ -213,6 +326,21 @@ class ServingQueue:
                         self.stats.cancelled += 1
                     continue
                 wait_seconds = time.perf_counter() - enqueued_at
+                deadline = request.deadline_seconds
+                if deadline is not None and wait_seconds > deadline:
+                    # Shed, don't serve: nobody is waiting for this
+                    # result any more, so the detect must not run.
+                    future.set_exception(
+                        DeadlineExceeded(
+                            f"deadline of {deadline}s exceeded after "
+                            f"{wait_seconds:.3f}s in the queue",
+                            deadline_seconds=deadline,
+                            waited_seconds=wait_seconds,
+                        )
+                    )
+                    with self._lock:
+                        self.stats.expired += 1
+                    continue
                 try:
                     result = self.manager.detect(
                         request.graph,
@@ -248,10 +376,13 @@ class ServingQueue:
         :meth:`~concurrent.futures.Future.cancelled` — while in-flight
         dispatches still finish.
         """
-        with self._lock:
+        with self._space:
             if self._closed:
                 return
             self._closed = True
+            # Wake every blocked submitter: they re-check the flag and
+            # raise instead of waiting on a queue that is shutting down.
+            self._space.notify_all()
         if drain:
             self._queue.join()
         else:

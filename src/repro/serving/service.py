@@ -4,8 +4,10 @@ This is the process boundary of the serving subsystem — the layer the
 ``repro-oca serve`` CLI exposes.  It is deliberately socket-free:
 requests stream from any line-iterable (a file, stdin, a test's
 StringIO), responses stream to any writable, so the whole stack is
-testable end-to-end without network plumbing, and a socket server later
-is one adapter away.
+testable end-to-end without network plumbing.  The socket server
+(:mod:`repro.serving.server`) *is* that one adapter away: it reuses
+this module's parse and response-rendering helpers verbatim, so both
+front-ends speak byte-identical schemas.
 
 Request schema (one JSON object per line)::
 
@@ -14,6 +16,7 @@ Request schema (one JSON object per line)::
      "fingerprint": "…64 hex…",        # alternative: target a warm session
      "algorithm": "oca",               # any registered detector
      "seed": 7,
+     "deadline_seconds": 0.5,          # optional: shed if still queued then
      "params": {"batch_size": 4}}      # forwarded to the detector
 
 Response schema (same order as the requests)::
@@ -38,6 +41,7 @@ its fingerprint, the same warm session.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import CancelledError
@@ -45,17 +49,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from ..errors import ServingError
+from ..errors import QueueFull, ServingError
 from ..graph import Graph, read_edge_list
 from .manager import SessionManager
-from .queue import ServeRequest, ServingQueue
+from .queue import ServeRequest, ServingQueue, validate_deadline_seconds
 
-__all__ = ["ServingService", "serve_stream"]
-
-#: How long a submitter sleeps when the queue pushes back before
-#: retrying — the batch front-end's flow control (interactive clients
-#: would instead surface the QueueFull to their caller).
-_BACKPRESSURE_SLEEP_SECONDS = 0.002
+__all__ = ["ServingService", "serve_stream", "error_response"]
 
 #: Bound on the per-path graph cache.  Cached graphs pin their compiled
 #: CSR arrays, so an unbounded cache would quietly defeat the manager's
@@ -73,6 +72,15 @@ def _serialize_cover(cover) -> List[List[Any]]:
     communities = [sorted(community, key=_sort_key) for community in cover]
     communities.sort(key=lambda members: [_sort_key(node) for node in members])
     return communities
+
+
+def error_response(request_id: Any, error: BaseException) -> Dict[str, Any]:
+    """The one ``ok: false`` shape both front-ends emit for a failure."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": str(error) or type(error).__name__,
+    }
 
 
 @dataclass
@@ -100,6 +108,10 @@ class ServingService:
         Manager construction knobs (ignored when ``manager`` is given).
     queue_workers / max_depth:
         :class:`~repro.serving.ServingQueue` sizing.
+    submit_timeout_seconds:
+        How long a streamed request may wait for queue space before its
+        response becomes ``ok: false`` (``None``: wait indefinitely —
+        the pre-deadline behaviour).
     """
 
     def __init__(
@@ -113,7 +125,9 @@ class ServingService:
         backend: str = "auto",
         batch_size: Optional[int] = None,
         representation: str = "auto",
+        submit_timeout_seconds: Optional[float] = None,
     ) -> None:
+        self.submit_timeout_seconds = submit_timeout_seconds
         self._owns_manager = manager is None
         # Explicit None-check: SessionManager defines __len__, so a
         # caller's freshly-built (empty) manager is *falsy* and a bare
@@ -132,6 +146,10 @@ class ServingService:
         self._graph_cache: "OrderedDict[str, Tuple[Tuple[int, int], Graph]]" = (
             OrderedDict()
         )
+        # The socket front-end parses lines from concurrent executor
+        # threads, so hits, inserts, and evictions must not interleave
+        # (a racing eviction would turn move_to_end into a KeyError).
+        self._graph_cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Request parsing
@@ -156,14 +174,19 @@ class ServingService:
             # rewritten on disk must re-load, never serve the old graph.
             stat = path.stat()
             version = (stat.st_mtime_ns, stat.st_size)
-            cached = self._graph_cache.get(key)
-            if cached is not None and cached[0] == version:
-                self._graph_cache.move_to_end(key)
-                return cached[1]
+            with self._graph_cache_lock:
+                cached = self._graph_cache.get(key)
+                if cached is not None and cached[0] == version:
+                    self._graph_cache.move_to_end(key)
+                    return cached[1]
+            # The file read runs unlocked (it is the slow part); a
+            # concurrent loader of the same path just overwrites with an
+            # equivalent graph, and the fingerprint dedupes downstream.
             graph = read_edge_list(spec)
-            self._graph_cache[key] = (version, graph)
-            while len(self._graph_cache) > _GRAPH_CACHE_LIMIT:
-                self._graph_cache.popitem(last=False)
+            with self._graph_cache_lock:
+                self._graph_cache[key] = (version, graph)
+                while len(self._graph_cache) > _GRAPH_CACHE_LIMIT:
+                    self._graph_cache.popitem(last=False)
             return graph
         if isinstance(spec, dict) and "edges" in spec:
             graph = Graph(nodes=spec.get("nodes", ()))
@@ -179,12 +202,15 @@ class ServingService:
         params = payload.get("params", {})
         if not isinstance(params, dict):
             raise ServingError("params must be a JSON object")
+        deadline = payload.get("deadline_seconds")
+        validate_deadline_seconds(deadline, ServingError)
         return ServeRequest(
             graph=self._resolve_graph(payload),
             algorithm=payload.get("algorithm", "oca"),
             seed=payload.get("seed"),
             params=dict(params),
             id=payload.get("id"),
+            deadline_seconds=None if deadline is None else float(deadline),
         )
 
     @staticmethod
@@ -201,7 +227,7 @@ class ServingService:
         """One JSONL line to a :class:`ServeRequest` (raises on bad input)."""
         return self._request_from_payload(self._payload_from_line(line))
 
-    def _parse_line(
+    def parse_line(
         self, line: str
     ) -> "Union[ServeRequest, Dict[str, Any]]":
         """A request, or a ready error response (id echoed when known).
@@ -209,7 +235,8 @@ class ServingService:
         *Any* parse-path failure — malformed JSON, a missing edge-list
         file, a malformed inline edge — becomes a per-request error
         response rather than an exception: one bad line must never take
-        down the rest of the batch.
+        down the rest of the batch.  The socket front-end shares this
+        exact path, so both front-ends classify bad input identically.
         """
         request_id = None
         try:
@@ -217,21 +244,28 @@ class ServingService:
             request_id = payload.get("id")
             return self._request_from_payload(payload)
         except Exception as error:
-            return {
-                "id": request_id,
-                "ok": False,
-                "error": str(error) or type(error).__name__,
-            }
+            return error_response(request_id, error)
+
+    # Pre-socket-front-end name, kept for downstream callers.
+    _parse_line = parse_line
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def _submit_with_backpressure(self, request: ServeRequest) -> _Pending:
-        """Submit, absorbing a full queue by waiting for it to drain."""
+    def submit_pending(
+        self, request: ServeRequest, timeout: Optional[float] = None
+    ) -> _Pending:
+        """Submit one parsed request, waiting for queue space.
+
+        Returns the pending record :meth:`render_response` consumes.
+        Raises :class:`~repro.errors.QueueFull` (timeout elapsed) or
+        :class:`~repro.errors.ServingError` (queue closed) — the socket
+        front-end maps those onto per-request error responses, exactly
+        like :meth:`handle_lines` does via
+        :meth:`_submit_with_backpressure`.
+        """
         depth = self.queue.depth
-        future = self.queue.submit_blocking(
-            request, poll_seconds=_BACKPRESSURE_SLEEP_SECONDS
-        )
+        future = self.queue.submit_blocking(request, timeout=timeout)
         pending = _Pending(
             request_id=request.id,
             future=future,
@@ -243,6 +277,25 @@ class ServingService:
         )
         return pending
 
+    def _submit_with_backpressure(
+        self, request: ServeRequest
+    ) -> "Union[_Pending, Dict[str, Any]]":
+        """Submit, absorbing a full queue by waiting for it to drain.
+
+        A refusal — the queue closed under us mid-stream, or stayed full
+        past the submit timeout — becomes this request's ``ok: false``
+        response instead of an exception out of :meth:`handle_lines`:
+        the requests already in flight keep their response slots and
+        still flush, which is the per-request error isolation the
+        service promises.
+        """
+        try:
+            return self.submit_pending(
+                request, timeout=self.submit_timeout_seconds
+            )
+        except (QueueFull, ServingError) as error:
+            return error_response(request.id, error)
+
     def _response(self, pending: _Pending) -> Dict[str, Any]:
         try:
             result = pending.future.result()
@@ -251,11 +304,7 @@ class ServingService:
         # (config TypeErrors included) is likewise isolated to its own
         # response rather than aborting the batch.
         except (Exception, CancelledError) as error:
-            return {
-                "id": pending.request_id,
-                "ok": False,
-                "error": str(error) or type(error).__name__,
-            }
+            return error_response(pending.request_id, error)
         latency = (pending.done_at or time.perf_counter()) - pending.submitted_at
         stats = result.stats
         return {
@@ -298,22 +347,31 @@ class ServingService:
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            parsed = self._parse_line(line)
+            parsed = self.parse_line(line)
             if isinstance(parsed, dict):
                 pending.append(parsed)
             else:
                 pending.append(self._submit_with_backpressure(parsed))
             while pending and head_ready():
-                yield self._emit(pending.popleft())
+                yield self.render_response(pending.popleft())
         while pending:
-            yield self._emit(pending.popleft())
+            yield self.render_response(pending.popleft())
 
-    def _emit(
+    def render_response(
         self, item: "Union[_Pending, Dict[str, Any]]"
     ) -> Dict[str, Any]:
+        """One response dict from a pending record or a ready error.
+
+        Blocks on the pending future if it has not resolved yet; the
+        socket front-end awaits the future first, so its calls never
+        block the event loop.
+        """
         if isinstance(item, dict):
             return item
         return self._response(item)
+
+    # Pre-socket-front-end name, kept for downstream callers.
+    _emit = render_response
 
     def serve(
         self, input_stream: IO[str], output_stream: IO[str]

@@ -1,11 +1,17 @@
-"""ServingQueue: admission, backpressure, drain, and result fidelity."""
+"""ServingQueue: admission, backpressure, deadlines, drain, fidelity."""
 
 import threading
+import time
 
 import pytest
 
 from repro import GraphSession, ServeRequest, ServingQueue, SessionManager
-from repro.errors import ConfigurationError, QueueFull, ServingError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    QueueFull,
+    ServingError,
+)
 from repro.generators import ring_of_cliques
 
 
@@ -105,11 +111,100 @@ class TestAdmission:
         assert queue.stats.rejected == 0
         assert queue.stats.submitted == 3
 
+    def test_blocking_submit_timeout_raises_queue_full(self):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=1)
+        try:
+            queue.submit(ServeRequest(graph="g"))
+            manager.started.wait(timeout=30)
+            queue.submit(ServeRequest(graph="g"))  # fills the queue
+            started = time.perf_counter()
+            with pytest.raises(QueueFull):
+                queue.submit_blocking(ServeRequest(graph="g"), timeout=0.05)
+            waited = time.perf_counter() - started
+            assert waited >= 0.05  # genuinely waited the timeout out
+            # A timed-out blocking submit *was* refused: it counts.
+            assert queue.stats.rejected == 1
+        finally:
+            manager.release.set()
+            queue.close()
+
     def test_invalid_sizing_rejected(self):
         with pytest.raises(ConfigurationError):
             ServingQueue(object(), workers=0)
         with pytest.raises(ConfigurationError):
             ServingQueue(object(), max_depth=0)
+
+    def test_invalid_deadline_rejected_at_submission(self):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=2)
+        try:
+            for bad in (0, -0.5, True, "soon"):
+                with pytest.raises(ConfigurationError):
+                    queue.submit(
+                        ServeRequest(graph="g", deadline_seconds=bad)
+                    )
+            assert queue.stats.submitted == 0
+        finally:
+            manager.release.set()
+            queue.close()
+
+
+class TestDeadlines:
+    def test_expired_queued_request_is_shed_without_detect(self):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=4)
+        try:
+            blocker = queue.submit(ServeRequest(graph="g"))
+            manager.started.wait(timeout=30)  # worker pinned
+            doomed = queue.submit(
+                ServeRequest(graph="g", deadline_seconds=0.05)
+            )
+            time.sleep(0.2)  # the deadline passes while queued
+            manager.release.set()
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                doomed.result(timeout=30)
+            assert excinfo.value.deadline_seconds == 0.05
+            assert excinfo.value.waited_seconds >= 0.05
+            assert blocker.result(timeout=30) is not None
+        finally:
+            manager.release.set()
+            queue.close()
+        # Shed means shed: only the blocker's detect ever ran.
+        assert manager.calls == 1
+        assert queue.stats.expired == 1
+        assert queue.stats.completed == 1
+        assert queue.stats.failed == 0
+
+    def test_deadline_met_request_completes(self):
+        manager = _BlockingManager()
+        manager.release.set()
+        queue = ServingQueue(manager, workers=1, max_depth=4)
+        try:
+            future = queue.submit(
+                ServeRequest(graph="g", deadline_seconds=30.0)
+            )
+            assert future.result(timeout=30) is not None
+        finally:
+            queue.close()
+        assert queue.stats.expired == 0
+        assert queue.stats.completed == 1
+
+    def test_close_drain_still_sheds_expired_requests(self):
+        """A graceful drain must not run detects whose waiters gave up:
+        expiry applies on the drain path too."""
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=4)
+        blocker = queue.submit(ServeRequest(graph="g"))
+        manager.started.wait(timeout=30)
+        doomed = queue.submit(ServeRequest(graph="g", deadline_seconds=0.05))
+        time.sleep(0.2)
+        manager.release.set()
+        queue.close(drain=True)
+        assert blocker.done() and not blocker.cancelled()
+        with pytest.raises(DeadlineExceeded):
+            doomed.result(timeout=1)
+        assert manager.calls == 1
 
 
 class TestShutdown:
@@ -142,6 +237,52 @@ class TestShutdown:
             queue.close()  # idempotent
             with pytest.raises(ServingError, match="closed"):
                 queue.detect(graph, "oca", seed=0)
+
+    def test_closed_refusals_are_counted_separately(self, graph):
+        """A post-shutdown submit storm is visible in rejected_closed —
+        not conflated with full-queue backpressure, not invisible."""
+        with SessionManager(max_sessions=1) as manager:
+            queue = ServingQueue(manager, workers=1, max_depth=4)
+            queue.close()
+            for _ in range(3):
+                with pytest.raises(ServingError):
+                    queue.submit(ServeRequest(graph=graph))
+            with pytest.raises(ServingError):
+                queue.submit_blocking(ServeRequest(graph=graph))
+            assert queue.stats.rejected_closed == 4
+            assert queue.stats.rejected == 0  # full-queue signal untouched
+            assert queue.stats.submitted == 0
+
+    def test_close_while_blocked_submitter_waits(self):
+        """close() must wake a submitter parked on the space condition:
+        it raises ServingError instead of hanging forever."""
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=1)
+        queue.submit(ServeRequest(graph="g"))
+        manager.started.wait(timeout=30)
+        queue.submit(ServeRequest(graph="g"))  # fills the queue
+        outcome = []
+
+        def blocked_submit():
+            try:
+                queue.submit_blocking(ServeRequest(graph="g"))
+                outcome.append("accepted")
+            except ServingError:
+                outcome.append("refused-closed")
+
+        blocker = threading.Thread(target=blocked_submit)
+        blocker.start()
+        blocker.join(timeout=0.1)
+        assert blocker.is_alive()  # parked, waiting for space
+        closer = threading.Thread(target=lambda: queue.close(drain=True))
+        closer.start()
+        blocker.join(timeout=30)
+        assert not blocker.is_alive()
+        assert outcome == ["refused-closed"]
+        manager.release.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        assert queue.stats.rejected_closed == 1
 
     def test_drain_without_close(self, graph):
         with SessionManager(max_sessions=1) as manager:

@@ -2,6 +2,8 @@
 
 import io
 import json
+import threading
+import time
 
 import pytest
 
@@ -65,7 +67,13 @@ class TestBatchMode:
             {"id": 2, "fingerprint": graph_fingerprint(graph), "seed": 0},
         )
         output = io.StringIO()
-        summary = serve_stream(requests, output, max_sessions=2)
+        # One dispatch worker: the fingerprint request must not race the
+        # inline request's session bind (execution order across queue
+        # workers is unordered by design — a bare fingerprint only
+        # targets sessions that are already warm when it dispatches).
+        summary = serve_stream(
+            requests, output, max_sessions=2, queue_workers=1
+        )
         responses = [json.loads(line) for line in output.getvalue().splitlines()]
         assert all(r["ok"] for r in responses)
         # The inline graph has the same content => same fingerprint =>
@@ -181,6 +189,148 @@ class TestBatchMode:
         # The stale cache entry must not serve the old graph's cover.
         assert before["fingerprint"] != after["fingerprint"]
         assert after["fingerprint"] == graph_fingerprint(second)
+
+
+class _GatedManager:
+    """Blocks every detect on one gate; returns a result-shaped stub."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.calls = 0
+
+    def detect(self, graph, algorithm, seed=None, **params):
+        self.started.set()
+        assert self.release.wait(timeout=30)
+        self.calls += 1
+
+        class _Result:
+            algorithm = "stub"
+            cover = [[0]]
+            elapsed_seconds = 0.0
+
+            def __init__(self):
+                self.stats = {}
+
+        return _Result()
+
+
+def _stub_line(request_id, seed=0):
+    return json.dumps(
+        {"id": request_id, "fingerprint": "f" * 64, "seed": seed}
+    )
+
+
+class TestShutdownRaces:
+    """ISSUE 5 headline bug: ServingQueue.close() racing an in-flight
+    batch used to let submit_blocking's ServingError escape
+    handle_lines, aborting the stream and dropping every pending *and
+    completed* response."""
+
+    def test_queue_closed_mid_stream_never_raises_out_of_handle_lines(self):
+        gate = _GatedManager()
+        service = ServingService(manager=gate, queue_workers=1, max_depth=4)
+
+        def lines():
+            yield _stub_line("in-flight")
+            assert gate.started.wait(timeout=30)  # r0 is being served
+            # The race: the queue shuts down under the live stream.
+            closer = threading.Thread(
+                target=lambda: service.queue.close(drain=True)
+            )
+            closer.start()
+            while not service.queue.closed:
+                time.sleep(0.001)
+            yield _stub_line("after-close-1")
+            yield _stub_line("after-close-2")
+            gate.release.set()
+            closer.join(timeout=30)
+
+        responses = list(service.handle_lines(lines()))
+        # Nothing escaped; every request got its response slot, in order.
+        assert [r["id"] for r in responses] == [
+            "in-flight", "after-close-1", "after-close-2",
+        ]
+        # The already-submitted future still flushed as a real result...
+        assert responses[0]["ok"] is True
+        # ...and the unsubmittable ones are per-request failures.
+        assert [r["ok"] for r in responses[1:]] == [False, False]
+        assert all("closed" in r["error"] for r in responses[1:])
+        assert service.queue.stats.rejected_closed == 2
+
+    def test_non_drain_close_cancels_pending_into_error_responses(self):
+        """close(drain=False) with queued work: cancelled requests come
+        back as ok:false responses, the in-flight one still completes."""
+        gate = _GatedManager()
+        service = ServingService(manager=gate, queue_workers=1, max_depth=4)
+
+        def lines():
+            yield _stub_line("dispatched")
+            assert gate.started.wait(timeout=30)
+            yield _stub_line("queued-1")
+            yield _stub_line("queued-2")
+            closer = threading.Thread(
+                target=lambda: service.queue.close(drain=False)
+            )
+            closer.start()
+            while not service.queue.closed:
+                time.sleep(0.001)
+            gate.release.set()
+            closer.join(timeout=30)
+
+        responses = list(service.handle_lines(lines()))
+        assert [r["id"] for r in responses] == [
+            "dispatched", "queued-1", "queued-2",
+        ]
+        assert responses[0]["ok"] is True  # in-flight work is never lost
+        assert [r["ok"] for r in responses[1:]] == [False, False]
+        assert gate.calls == 1  # the cancelled detects never ran
+        assert service.queue.stats.cancelled == 2
+
+    def test_submit_after_close_through_service_path(self):
+        """A fully closed queue: the stream is all ok:false, no raise."""
+        gate = _GatedManager()
+        gate.release.set()
+        service = ServingService(manager=gate, queue_workers=1, max_depth=4)
+        service.queue.close()
+        responses = list(
+            service.handle_lines([_stub_line(i) for i in range(3)])
+        )
+        assert [r["ok"] for r in responses] == [False, False, False]
+        assert all("closed" in r["error"] for r in responses)
+        assert service.queue.stats.rejected_closed == 3
+        assert gate.calls == 0
+
+    def test_submit_timeout_becomes_error_response(self):
+        """submit_timeout_seconds bounds the stall a full queue causes:
+        the starved request fails per-request instead of hanging."""
+        gate = _GatedManager()
+        service = ServingService(
+            manager=gate,
+            queue_workers=1,
+            max_depth=1,
+            submit_timeout_seconds=0.05,
+        )
+        lines = [_stub_line("served"), _stub_line("fills-queue"),
+                 _stub_line("starved")]
+        collected = []
+        streamer = threading.Thread(
+            target=lambda: collected.extend(service.handle_lines(lines))
+        )
+        streamer.start()
+        assert gate.started.wait(timeout=30)
+        # "starved" cannot be admitted while the queue stays full; after
+        # 0.05s it is refused and the stream moves on.
+        time.sleep(0.2)
+        gate.release.set()
+        streamer.join(timeout=30)
+        assert not streamer.is_alive()
+        service.close()
+        by_id = {r["id"]: r for r in collected}
+        assert by_id["served"]["ok"] is True
+        assert by_id["fills-queue"]["ok"] is True
+        assert by_id["starved"]["ok"] is False
+        assert service.queue.stats.rejected == 1
 
 
 class TestCLI:

@@ -7,13 +7,17 @@ from repro.errors import (
     CommunityError,
     ConfigurationError,
     ConvergenceError,
+    DeadlineExceeded,
     EdgeNotFoundError,
     EmptyCommunityError,
     GeneratorError,
     GraphError,
     GraphFormatError,
     NodeNotFoundError,
+    QueueFull,
     ReproError,
+    ServingError,
+    SessionClosedError,
 )
 
 
@@ -29,8 +33,28 @@ def test_all_derive_from_repro_error():
         AlgorithmError,
         ConvergenceError,
         ConfigurationError,
+        ServingError,
+        SessionClosedError,
+        QueueFull,
+        DeadlineExceeded,
     ):
         assert issubclass(cls, ReproError)
+
+
+def test_serving_errors_share_one_base():
+    for cls in (SessionClosedError, QueueFull, DeadlineExceeded):
+        assert issubclass(cls, ServingError)
+
+
+def test_queue_full_carries_depth():
+    error = QueueFull("full", depth=64)
+    assert error.depth == 64
+
+
+def test_deadline_exceeded_carries_budget_and_wait():
+    error = DeadlineExceeded("late", deadline_seconds=0.5, waited_seconds=0.8)
+    assert error.deadline_seconds == 0.5
+    assert error.waited_seconds == 0.8
 
 
 def test_lookup_errors_are_key_errors():
