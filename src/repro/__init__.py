@@ -107,7 +107,7 @@ from .serving import (
     graph_fingerprint,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

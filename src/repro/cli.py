@@ -19,7 +19,12 @@ Subcommands:
     ``--listen HOST:PORT`` the same stack is served over TCP instead
     (:mod:`repro.serving.server`): one JSONL stream per connection,
     round-robin admission across clients, per-client in-flight caps,
-    and ``deadline_seconds`` request shedding.
+    and ``deadline_seconds`` request shedding.  With
+    ``--http HOST:PORT`` (alone or alongside ``--listen``) the stack
+    also serves HTTP/1.1 (:mod:`repro.serving.http`): ``GET /health``
+    readiness, ``GET /metrics`` Prometheus scrapes, and
+    ``POST /detect`` for the same JSONL schema; ``--stats-interval``
+    prints a periodic one-line stats summary to stderr.
 ``experiment``
     Regenerate one paper artefact (table1, figure2 .. figure6,
     wikipedia) and print its data table.
@@ -159,6 +164,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "also (or instead) serve HTTP/1.1 here (port 0 picks a free "
+            "port): GET /health readiness, GET /metrics Prometheus "
+            "scrape, POST /detect with a JSONL body — same schema, "
+            "byte-identical covers; runnable alongside --listen on one "
+            "shared session stack"
+        ),
+    )
+    serve.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "socket/HTTP modes: print a one-line serving-stats summary "
+            "to stderr every SECONDS while running"
+        ),
+    )
+    serve.add_argument(
         "--client-inflight",
         type=int,
         default=8,
@@ -293,21 +320,46 @@ def _command_detect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_listen(value: str):
+def _parse_listen(value: str, flag: str = "--listen"):
     host, _, port_text = value.rpartition(":")
     if not host or not port_text.isdigit():
         raise SystemExit(
-            f"--listen expects HOST:PORT, got {value!r}"
+            f"{flag} expects HOST:PORT, got {value!r}"
         )
     return host, int(port_text)
 
 
-def _command_serve_socket(args: argparse.Namespace, max_memory_bytes) -> int:
+def _stats_line(service) -> str:
+    """One stderr line of live serving stats (the --stats-interval tick)."""
+    queue_stats = service.queue.stats
+    manager_stats = service.manager.stats
+    return (
+        f"stats: queue depth={service.queue.depth} "
+        f"submitted={queue_stats.submitted} "
+        f"completed={queue_stats.completed} failed={queue_stats.failed} "
+        f"rejected={queue_stats.rejected} expired={queue_stats.expired} "
+        f"(admission={queue_stats.expired_admission} "
+        f"queue={queue_stats.expired_queue}) | "
+        f"sessions resident={len(service.manager)} "
+        f"hits={manager_stats.hits} misses={manager_stats.misses} "
+        f"evictions={manager_stats.evictions} "
+        f"hit_rate={manager_stats.hit_rate:.2f} "
+        f"memory={service.manager.memory_bytes()}B"
+    )
+
+
+def _command_serve_net(args: argparse.Namespace, max_memory_bytes) -> int:
+    """Network serving: a TCP (--listen) and/or HTTP (--http) front-end.
+
+    Both front-ends share one :class:`~repro.serving.ServingService` —
+    one session manager, one bounded queue, one metrics registry — so a
+    mixed deployment (JSONL streams for clients, HTTP for operators and
+    scrapers) still amortises warm sessions across all traffic.
+    """
     import asyncio
 
-    from .serving import ServingServer, ServingService
+    from .serving import HttpServer, ServingServer, ServingService
 
-    host, port = _parse_listen(args.listen)
     service = ServingService(
         max_sessions=args.max_sessions,
         max_memory_bytes=max_memory_bytes,
@@ -317,24 +369,53 @@ def _command_serve_socket(args: argparse.Namespace, max_memory_bytes) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
     )
-    server = ServingServer(
-        service=service,
-        host=host,
-        port=port,
-        max_inflight_per_client=args.client_inflight,
-    )
+    servers = []
+    if args.listen is not None:
+        host, port = _parse_listen(args.listen, "--listen")
+        servers.append(
+            (
+                "listening on",
+                ServingServer(
+                    service=service,
+                    host=host,
+                    port=port,
+                    max_inflight_per_client=args.client_inflight,
+                ),
+            )
+        )
+    if args.http is not None:
+        host, port = _parse_listen(args.http, "--http")
+        servers.append(
+            ("http listening on", HttpServer(service=service, host=host, port=port))
+        )
+
+    async def _stats_loop() -> None:
+        while True:
+            await asyncio.sleep(args.stats_interval)
+            print(_stats_line(service), file=sys.stderr, flush=True)
 
     async def _main() -> None:
-        await server.start()
-        print(
-            f"listening on {server.host}:{server.port}",
-            file=sys.stderr,
-            flush=True,
+        for banner, server in servers:
+            await server.start()
+            print(
+                f"{banner} {server.host}:{server.port}",
+                file=sys.stderr,
+                flush=True,
+            )
+        stats_task = (
+            asyncio.ensure_future(_stats_loop())
+            if args.stats_interval is not None and args.stats_interval > 0
+            else None
         )
         try:
-            await server.wait_stopped()
+            await asyncio.gather(
+                *(server.wait_stopped() for _, server in servers)
+            )
         finally:
-            await server.stop()
+            if stats_task is not None:
+                stats_task.cancel()
+            for _, server in servers:
+                await server.stop()
 
     try:
         asyncio.run(_main())
@@ -343,14 +424,18 @@ def _command_serve_socket(args: argparse.Namespace, max_memory_bytes) -> int:
     finally:
         service.close()
     if not args.quiet:
-        stats = server.stats
-        print(
-            f"served {stats.responses} response(s) to {stats.clients_total} "
-            f"client(s): {stats.ok} ok, {stats.failed} failed "
-            f"({stats.queue_full_rejections} queue-full, "
-            f"{stats.deadline_expired} past deadline)",
-            file=sys.stderr,
-        )
+        for banner, server in servers:
+            if not isinstance(server, ServingServer):
+                continue
+            stats = server.stats
+            print(
+                f"served {stats.responses} response(s) to "
+                f"{stats.clients_total} "
+                f"client(s): {stats.ok} ok, {stats.failed} failed "
+                f"({stats.queue_full_rejections} queue-full, "
+                f"{stats.deadline_expired} past deadline)",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -363,8 +448,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         else int(args.max_memory_mb * 1024 * 1024)
     )
 
-    if args.listen is not None:
-        return _command_serve_socket(args, max_memory_bytes)
+    if args.listen is not None or args.http is not None:
+        return _command_serve_net(args, max_memory_bytes)
 
     def run(input_stream, output_stream):
         return serve_stream(

@@ -21,6 +21,7 @@ seeds — the session changes wall-clock time, never results.
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -30,6 +31,7 @@ from ..engine.engine import ExecutionEngine
 from ..errors import AlgorithmError, SessionClosedError
 from ..graph import Graph
 from ..graph.csr import CompiledGraph, compile_graph
+from ..observability import MetricsRegistry
 from .registry import get_detector
 
 __all__ = ["SessionStats", "GraphSession"]
@@ -95,6 +97,88 @@ class SessionStats:
             self.pool_reuses += 1
 
 
+class _SessionMetrics:
+    """Registry instruments shared by every session on one registry.
+
+    Unlike the queue/manager stats, :class:`SessionStats` stays a plain
+    per-session record (a stack serves many sessions, and per-session
+    accounting must not merge) — the session *additionally* publishes
+    each event here, so the stack registry carries the aggregate the
+    ``/metrics`` scrape wants: detect latency per algorithm, spectral
+    solve sources, pool lifecycle, compile time, and the engine's
+    dispatch/reduce split.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.detect_total = registry.counter(
+            "repro_session_detect_total",
+            "Detect calls served by warm sessions, per algorithm",
+            labelnames=("algorithm",),
+        )
+        self.detect_seconds = registry.histogram(
+            "repro_session_detect_seconds",
+            "Detect wall-clock per algorithm",
+            labelnames=("algorithm",),
+        )
+        self.compile_seconds = registry.counter(
+            "repro_session_compile_seconds_total",
+            "Wall-clock spent compiling graphs at session bind",
+        )
+        self.binds = registry.counter(
+            "repro_session_binds_total", "Sessions bound (graphs compiled)"
+        )
+        self.spectral = registry.counter(
+            "repro_session_spectral_total",
+            "How detects resolved the admissible c, by source",
+            labelnames=("source",),
+        )
+        self.pool_reuses = registry.counter(
+            "repro_session_pool_reuses_total",
+            "Detects served on an already-warm persistent worker pool",
+        )
+        self.pools_closed = registry.counter(
+            "repro_session_pools_closed_total",
+            "Persistent worker pools actually torn down",
+        )
+        self.engine_batches = registry.counter(
+            "repro_engine_batches_total", "Engine batches dispatched"
+        )
+        tasks = registry.counter(
+            "repro_engine_tasks_total",
+            "Engine growth tasks, by what the reducer did with them",
+            labelnames=("outcome",),
+        )
+        self.tasks_folded = tasks.labels(outcome="folded")
+        self.tasks_discarded = tasks.labels(outcome="discarded")
+        self.engine_dispatch_seconds = registry.counter(
+            "repro_engine_dispatch_seconds_total",
+            "Wall-clock spent waiting on engine workers",
+        )
+        self.engine_reduce_seconds = registry.counter(
+            "repro_engine_reduce_seconds_total",
+            "Wall-clock spent folding engine results",
+        )
+
+    def record(self, result: DetectionResult) -> None:
+        """Publish one detect result's events into the registry."""
+        algorithm = result.algorithm
+        self.detect_total.labels(algorithm).inc()
+        self.detect_seconds.labels(algorithm).observe(result.elapsed_seconds)
+        c_source = result.stats.get("c_source")
+        if c_source:
+            self.spectral.labels(str(c_source)).inc()
+        if result.stats.get("engine_pool") == "reused":
+            self.pool_reuses.inc()
+        engine_stats = getattr(result, "engine_stats", None)
+        if engine_stats is not None:
+            self.engine_batches.inc(engine_stats.batches)
+            self.tasks_folded.inc(engine_stats.tasks_folded)
+            self.tasks_discarded.inc(engine_stats.tasks_discarded)
+            self.engine_dispatch_seconds.inc(engine_stats.dispatch_seconds)
+            self.engine_reduce_seconds.inc(engine_stats.reduce_seconds)
+
+
 class GraphSession:
     """One graph, bound once, served many times.
 
@@ -132,6 +216,7 @@ class GraphSession:
         backend: str = "auto",
         batch_size: Optional[int] = None,
         representation: str = "auto",
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not isinstance(graph, (Graph, CompiledGraph)):
             raise AlgorithmError(
@@ -139,10 +224,19 @@ class GraphSession:
                 f"got {type(graph).__name__}"
             )
         self._graph = graph
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._metrics = _SessionMetrics(self.registry)
         # Compile exactly once, up front: every CSR-representation
         # detect, every spectral resolution, and every worker payload
-        # reuses this object.
+        # reuses this object.  (The measured time is near-zero when the
+        # graph arrives with a warm compile cache — that, too, is worth
+        # seeing on a dashboard.)
+        compile_started = time.perf_counter()
         self._compiled = compile_graph(graph)
+        self._metrics.compile_seconds.inc(
+            time.perf_counter() - compile_started
+        )
+        self._metrics.binds.inc()
         self.workers = workers
         self.backend = backend
         self.batch_size = batch_size
@@ -167,6 +261,7 @@ class GraphSession:
 
     def _on_pool_closed(self) -> None:
         self._stats.pools_closed += 1
+        self._metrics.pools_closed.inc()
 
     def _measure_memory(self) -> int:
         """Footprint of the per-graph artifacts this session pins.
@@ -252,6 +347,7 @@ class GraphSession:
         )
         result = detector.detect(request)
         self._stats.record(result)
+        self._metrics.record(result)
         return result
 
     # ------------------------------------------------------------------

@@ -1,0 +1,50 @@
+"""Production observability: metrics registry and request tracing.
+
+The serving stack (PRs 3–5) computes rich operational state — queue
+admission accounting, session-cache hit rates, detect latencies, socket
+traffic counts — but kept it in per-component dataclasses reachable
+only from Python.  This package is the common substrate that makes the
+same numbers *operable*:
+
+* :mod:`~repro.observability.registry` — :class:`MetricsRegistry`:
+  thread-safe counters, gauges, and fixed-bucket histograms with
+  Prometheus text rendering (``GET /metrics``) and flat snapshots (the
+  ``--stats-interval`` line), plus :data:`NULL_REGISTRY` to switch the
+  bookkeeping off;
+* :mod:`~repro.observability.trace` — :class:`RequestTrace`: a
+  process-unique id per serving request and span timings across
+  parse → queue wait → session acquire → detect → render, echoed in
+  the response's ``trace`` annotation.
+
+One registry is wired through a whole serving stack
+(:class:`~repro.serving.ServingService` owns it and shares it with its
+manager, queue, sessions, and front-ends); standalone components
+default to a private registry so unit accounting stays per-instance.
+The legacy stats dataclasses (``QueueStats``, ``ManagerStats``,
+``ServerStats``) survive as thin read-views over the registry — same
+attributes, same numbers, one source of truth.
+"""
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .trace import RequestTrace, new_trace, reset_trace_ids
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "RequestTrace",
+    "new_trace",
+    "reset_trace_ids",
+]

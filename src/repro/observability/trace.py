@@ -1,0 +1,140 @@
+"""RequestTrace: per-request ids and span timings for the serving path.
+
+Every request that enters the serving stack gets a
+:class:`RequestTrace`: a process-unique id plus named span timings
+covering the stations a request passes through — ``parse`` (JSON →
+:class:`~repro.serving.ServeRequest`, possibly a graph-file read),
+``queue_wait`` (admission → dispatch), ``session_acquire`` (manager
+lock + bind-or-fetch, annotated hit/miss), ``detect`` (the algorithm
+itself), and ``render`` (cover → canonical JSON).  The trace rides on
+the request object through the queue and comes back in the response's
+``trace`` annotation, so a slow request can be decomposed from the
+client side alone::
+
+    {"id": "r1", "ok": true, …,
+     "trace": {"id": "t-000042",
+               "spans": {"parse": 0.0003, "queue_wait": 0.018,
+                         "session_acquire": 0.0001, "detect": 0.21,
+                         "render": 0.0007},
+               "session_hit": true}}
+
+Ids are monotonic per process (``t-000001``, ``t-000002``, …): cheap,
+collision-free within the process, and trivially assertable in tests.
+Spans are plain perf-counter durations recorded once each; a station
+that never ran (a parse error, a shed request) simply has no span.
+Traces are written from several threads (parse on an executor thread,
+queue spans on a worker thread, render wherever the response flushes) —
+each station records a *different* span, so a lock only guards the
+dict itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["RequestTrace", "new_trace", "reset_trace_ids"]
+
+_counter = itertools.count(1)
+_counter_lock = threading.Lock()
+
+
+def _next_id() -> str:
+    with _counter_lock:
+        return f"t-{next(_counter):06d}"
+
+
+def reset_trace_ids() -> None:
+    """Restart the id sequence (test isolation only)."""
+    global _counter
+    with _counter_lock:
+        _counter = itertools.count(1)
+
+
+class RequestTrace:
+    """One request's identity and span timings."""
+
+    __slots__ = ("trace_id", "started_at", "_spans", "_marks", "_lock")
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        self.trace_id = trace_id if trace_id is not None else _next_id()
+        self.started_at = time.perf_counter()
+        self._spans: Dict[str, float] = {}
+        self._marks: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, seconds: float) -> None:
+        """Record one span duration (last write wins)."""
+        with self._lock:
+            self._spans[name] = float(seconds)
+
+    def span(self, name: str) -> "_Span":
+        """Context manager timing one station::
+
+            with trace.span("parse"):
+                request = service.parse_request(line)
+        """
+        return _Span(self, name)
+
+    def mark(self, key: str, value: Any) -> None:
+        """Attach a non-timing annotation (e.g. ``session_hit``)."""
+        with self._lock:
+            self._marks[key] = value
+
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> Dict[str, float]:
+        """Copy of the spans recorded so far."""
+        with self._lock:
+            return dict(self._spans)
+
+    @property
+    def marks(self) -> Dict[str, Any]:
+        """Copy of the non-timing annotations."""
+        with self._lock:
+            return dict(self._marks)
+
+    def export(self) -> Dict[str, Any]:
+        """The JSON-ready ``trace`` annotation for a response."""
+        with self._lock:
+            out: Dict[str, Any] = {
+                "id": self.trace_id,
+                "spans": {
+                    name: round(value, 9)
+                    for name, value in self._spans.items()
+                },
+            }
+            out.update(self._marks)
+            return out
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestTrace(id={self.trace_id!r}, "
+            f"spans={sorted(self.spans)})"
+        )
+
+
+class _Span:
+    """Times a ``with`` block into its trace; re-raises everything."""
+
+    __slots__ = ("_trace", "_name", "_start")
+
+    def __init__(self, trace: RequestTrace, name: str) -> None:
+        self._trace = trace
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._trace.record(self._name, time.perf_counter() - self._start)
+
+
+def new_trace() -> RequestTrace:
+    """A fresh trace with the next process-wide id."""
+    return RequestTrace()

@@ -19,7 +19,12 @@ process:
 * :mod:`~repro.serving.server` — :class:`ServingServer`, the asyncio
   TCP adapter over the same queue (``repro-oca serve --listen``), with
   round-robin per-client fairness, per-client in-flight caps, and
-  deadline-aware request shedding.
+  deadline-aware request shedding;
+* :mod:`~repro.serving.http` — :class:`HttpServer`, the stdlib HTTP/1.1
+  adapter (``repro-oca serve --http``): ``GET /health`` readiness,
+  ``GET /metrics`` Prometheus scrapes of the stack's shared
+  :class:`~repro.observability.MetricsRegistry`, and ``POST /detect``
+  speaking the exact JSONL service schema.
 
 Quickstart::
 
@@ -42,6 +47,7 @@ in behind these interfaces.
 """
 
 from .fingerprint import graph_fingerprint
+from .http import HttpHandle, HttpServer, start_http_thread
 from .manager import ManagerStats, SessionManager
 from .queue import QueueStats, ServeRequest, ServingQueue
 from .server import (
@@ -54,6 +60,8 @@ from .service import ServingService, serve_stream
 
 __all__ = [
     "graph_fingerprint",
+    "HttpHandle",
+    "HttpServer",
     "ManagerStats",
     "SessionManager",
     "QueueStats",
@@ -64,5 +72,6 @@ __all__ = [
     "ServingServer",
     "ServingService",
     "serve_stream",
+    "start_http_thread",
     "start_server_thread",
 ]

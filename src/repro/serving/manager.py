@@ -27,14 +27,15 @@ pools while requests for the same graph queue up behind its session.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .._rng import SeedLike
 from ..detection import DetectionResult
 from ..detectors.session import GraphSession
 from ..errors import ConfigurationError, ServingError
+from ..observability import MetricsRegistry
 from .fingerprint import graph_fingerprint
 
 __all__ = ["ManagerStats", "SessionManager"]
@@ -44,7 +45,47 @@ __all__ = ["ManagerStats", "SessionManager"]
 GraphOrFingerprint = Union[Any, str]
 
 
-@dataclass
+class _ManagerMetrics:
+    """The manager's registry instruments, created once per manager."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        requests = registry.counter(
+            "repro_manager_requests_total",
+            "Session-cache outcomes per request",
+            labelnames=("outcome",),
+        )
+        self.hits = requests.labels(outcome="hit")
+        self.misses = requests.labels(outcome="miss")
+        self.evictions = registry.counter(
+            "repro_manager_evictions_total",
+            "Sessions closed to honour max_sessions / the memory budget",
+        )
+        self.reopened = registry.counter(
+            "repro_manager_reopened_total",
+            "Out-of-band-closed sessions revived via reopen()",
+        )
+        self.detect_calls = registry.counter(
+            "repro_manager_detect_total", "Requests served by the manager"
+        )
+        self.detect_seconds = registry.counter(
+            "repro_manager_detect_seconds_total",
+            "Summed wall-clock of served detects",
+        )
+        self.sessions_resident = registry.gauge(
+            "repro_manager_sessions_resident",
+            "Warm sessions currently resident in the LRU",
+        )
+        self.memory_bytes = registry.gauge(
+            "repro_manager_memory_bytes",
+            "Summed footprint of resident sessions' per-graph artifacts",
+        )
+        self.acquire_seconds = registry.histogram(
+            "repro_manager_acquire_seconds",
+            "Time to bind-or-fetch the serving session for a request",
+        )
+
+
 class ManagerStats:
     """Aggregate accounting of one manager's serving behaviour.
 
@@ -61,20 +102,53 @@ class ManagerStats:
         rebind (compiled graph and spectral cache survive).
     detect_calls / detect_seconds:
         Requests served and their summed wall-clock.
+
+    Since the observability layer this class is a thin read-view over
+    the manager's :class:`~repro.observability.MetricsRegistry`
+    instruments — the same numbers ``GET /metrics`` scrapes.
     """
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    reopened: int = 0
-    detect_calls: int = 0
-    detect_seconds: float = 0.0
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: _ManagerMetrics) -> None:
+        self._metrics = metrics
+
+    @property
+    def hits(self) -> int:
+        return int(self._metrics.hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._metrics.misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._metrics.evictions.value)
+
+    @property
+    def reopened(self) -> int:
+        return int(self._metrics.reopened.value)
+
+    @property
+    def detect_calls(self) -> int:
+        return int(self._metrics.detect_calls.value)
+
+    @property
+    def detect_seconds(self) -> float:
+        return self._metrics.detect_seconds.value
 
     @property
     def hit_rate(self) -> float:
         """Fraction of requests served from a warm session."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ManagerStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, reopened={self.reopened}, "
+            f"detect_calls={self.detect_calls})"
+        )
 
 
 class _Entry:
@@ -105,6 +179,10 @@ class SessionManager:
     workers / backend / batch_size / representation:
         Forwarded to every :class:`~repro.detectors.GraphSession` the
         manager binds.
+    registry:
+        The :class:`~repro.observability.MetricsRegistry` the manager
+        (and every session it binds) publishes into; ``None`` creates a
+        private one.
 
     The manager is a context manager; :meth:`close` evicts everything.
     """
@@ -117,6 +195,7 @@ class SessionManager:
         backend: str = "auto",
         batch_size: Optional[int] = None,
         representation: str = "auto",
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_sessions < 1:
             raise ConfigurationError(
@@ -128,16 +207,23 @@ class SessionManager:
             )
         self.max_sessions = max_sessions
         self.max_memory_bytes = max_memory_bytes
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._session_kwargs: Dict[str, Any] = {
             "workers": workers,
             "backend": backend,
             "batch_size": batch_size,
             "representation": representation,
+            "registry": self.registry,
         }
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._lock = threading.RLock()
         self._closed = False
-        self.stats = ManagerStats()
+        self._metrics = _ManagerMetrics(self.registry)
+        self._metrics.sessions_resident.set_function(
+            lambda: len(self._entries)
+        )
+        self._metrics.memory_bytes.set_function(self.memory_bytes)
+        self.stats = ManagerStats(self._metrics)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -191,9 +277,13 @@ class SessionManager:
         :class:`~repro.errors.ServingError` otherwise.
 
         The result is exactly what ``GraphSession.detect`` returns for
-        the same arguments, with two serving annotations added to its
-        ``stats``: ``session_fingerprint`` and ``session_hit``.
+        the same arguments, with serving annotations added to its
+        ``stats``: ``session_fingerprint``, ``session_hit``, and
+        ``session_acquire_seconds`` (how long the bind-or-fetch took,
+        including any wait behind a concurrent detect on the same
+        session — the request trace's ``session_acquire`` span).
         """
+        acquire_started = time.perf_counter()
         if not isinstance(graph, str):
             # Warm the content hash (and with it the compiled form, which
             # the hash is computed on) *outside* the manager lock: both
@@ -222,6 +312,9 @@ class SessionManager:
                         # one; a bare fingerprint has nothing to rebind.
                         lost_race = True
                     else:
+                        acquire_seconds = (
+                            time.perf_counter() - acquire_started
+                        )
                         result = entry.session.detect(
                             algorithm, seed=seed, **params
                         )
@@ -230,25 +323,27 @@ class SessionManager:
             if lost_race:
                 # Undo the losing iteration's cache-outcome count —
                 # whether we retry or fail, this request must not stay
-                # booked as a serve.  (Outside the entry lock: stats
-                # take the manager lock, and entry-then-manager ordering
-                # is what _revive's manager-then-entry must never meet.)
-                with self._lock:
-                    if hit:
-                        self.stats.hits -= 1
-                    else:
-                        self.stats.misses -= 1
+                # booked as a serve.  (The registry counters are
+                # internally locked, so the retraction needs no manager
+                # lock; a scrape between the count and the retraction
+                # sees the provisional outcome, which is the same
+                # transient the old dataclass had.)
+                if hit:
+                    self._metrics.hits.inc(-1)
+                else:
+                    self._metrics.misses.inc(-1)
                 if isinstance(graph, str):
                     raise ServingError(
                         f"session {graph!r} was evicted while the "
                         "request was in flight; re-send the graph"
                     )
                 continue
-            with self._lock:
-                self.stats.detect_calls += 1
-                self.stats.detect_seconds += result.elapsed_seconds
+            self._metrics.detect_calls.inc()
+            self._metrics.detect_seconds.inc(result.elapsed_seconds)
+            self._metrics.acquire_seconds.observe(acquire_seconds)
             result.stats["session_fingerprint"] = entry.fingerprint
             result.stats["session_hit"] = hit
+            result.stats["session_acquire_seconds"] = acquire_seconds
             return result
 
     def session(self, graph: GraphOrFingerprint) -> GraphSession:
@@ -285,19 +380,19 @@ class SessionManager:
                 )
             self._revive(entry)
             self._entries.move_to_end(graph)
-            self.stats.hits += 1
+            self._metrics.hits.inc()
             return entry, True
         key = graph_fingerprint(graph)
         entry = self._entries.get(key)
         if entry is not None:
             self._revive(entry)
             self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self._metrics.hits.inc()
             return entry, True
         session = GraphSession(graph, **self._session_kwargs)
         entry = _Entry(key, session)
         self._entries[key] = entry
-        self.stats.misses += 1
+        self._metrics.misses.inc()
         self._shed(evicted)
         return entry, False
 
@@ -313,14 +408,14 @@ class SessionManager:
             with entry.lock:
                 if entry.session.closed:
                     entry.session.reopen()
-                    self.stats.reopened += 1
+                    self._metrics.reopened.inc()
 
     def _shed(self, evicted: List[_Entry]) -> None:
         """Pop LRU entries until both bounds hold (deterministic order)."""
         while len(self._entries) > self.max_sessions:
             _, entry = self._entries.popitem(last=False)
             evicted.append(entry)
-            self.stats.evictions += 1
+            self._metrics.evictions.inc()
         if self.max_memory_bytes is None:
             return
         while len(self._entries) > 1:
@@ -331,7 +426,7 @@ class SessionManager:
                 break
             _, entry = self._entries.popitem(last=False)
             evicted.append(entry)
-            self.stats.evictions += 1
+            self._metrics.evictions.inc()
 
     @staticmethod
     def _close_entries(entries: List[_Entry]) -> None:
@@ -348,7 +443,7 @@ class SessionManager:
         with self._lock:
             entry = self._entries.pop(fingerprint, None)
             if entry is not None:
-                self.stats.evictions += 1
+                self._metrics.evictions.inc()
         if entry is None:
             return False
         self._close_entries([entry])

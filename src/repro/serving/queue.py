@@ -45,6 +45,7 @@ from ..errors import (
     QueueFull,
     ServingError,
 )
+from ..observability import MetricsRegistry
 
 __all__ = [
     "ServeRequest",
@@ -104,6 +105,11 @@ class ServeRequest:
         so the deadline clock and ``queue_wait_seconds`` cover that
         held time too — a latency budget measures what the caller
         experienced, not what the queue happened to see.
+    trace:
+        Optional :class:`~repro.observability.RequestTrace` riding with
+        the request; the queue worker records its ``queue_wait`` span,
+        downstream layers add theirs, and the service echoes the whole
+        trace in the response annotation.
     """
 
     graph: Any
@@ -113,27 +119,135 @@ class ServeRequest:
     id: Optional[Any] = None
     deadline_seconds: Optional[float] = None
     arrived_at: Optional[float] = None
+    trace: Optional[Any] = None
 
 
-@dataclass
+class _QueueMetrics:
+    """The queue's registry instruments, created once per queue.
+
+    One stack shares one registry, so instrument *families* are
+    get-or-create by name — a second queue on the same registry would
+    share (and merge into) these series, which is why components
+    default to a private registry when none is wired in.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.submitted = registry.counter(
+            "repro_queue_submitted_total", "Requests accepted into the queue"
+        )
+        self.completed = registry.counter(
+            "repro_queue_completed_total", "Requests served successfully"
+        )
+        self.failed = registry.counter(
+            "repro_queue_failed_total", "Requests whose detect raised"
+        )
+        self.cancelled = registry.counter(
+            "repro_queue_cancelled_total",
+            "Pending requests cancelled by a non-drain close",
+        )
+        rejected = registry.counter(
+            "repro_queue_rejected_total",
+            "Submissions refused at admission",
+            labelnames=("reason",),
+        )
+        self.rejected_full = rejected.labels(reason="full")
+        self.rejected_closed = rejected.labels(reason="closed")
+        expired = registry.counter(
+            "repro_queue_expired_total",
+            "Requests shed past their deadline, by the stage that shed them",
+            labelnames=("stage",),
+        )
+        self.expired_admission = expired.labels(stage="admission")
+        self.expired_queue = expired.labels(stage="queue")
+        self.depth = registry.gauge(
+            "repro_queue_depth", "Requests currently queued (undispatched)"
+        )
+        self.peak_depth = registry.gauge(
+            "repro_queue_peak_depth", "Deepest the queue has been"
+        )
+        self.wait_seconds = registry.histogram(
+            "repro_queue_wait_seconds",
+            "Time from queue admission to worker dispatch",
+        )
+
+
 class QueueStats:
     """Aggregate accounting of one queue's admission behaviour.
 
     ``rejected`` counts full-queue refusals (the backpressure signal),
     ``rejected_closed`` counts submissions refused because the queue was
     already closed (a post-shutdown submit storm is visible here, not
-    silent), and ``expired`` counts requests shed by their deadline
-    while still queued.
+    silent), and ``expired`` counts requests shed by their deadline —
+    split into ``expired_admission`` (pre-shed before ever reaching the
+    queue, the socket front-end's admission stage) and ``expired_queue``
+    (shed by a queue worker at dispatch), so deadline tuning can tell
+    *where* requests die.
+
+    Since the observability layer this class is a thin read-view over
+    the queue's :class:`~repro.observability.MetricsRegistry`
+    instruments — same attributes as the pre-registry dataclass, same
+    numbers, one source of truth (``GET /metrics`` and this view can
+    never disagree).
     """
 
-    submitted: int = 0
-    completed: int = 0
-    failed: int = 0
-    cancelled: int = 0
-    rejected: int = 0
-    rejected_closed: int = 0
-    expired: int = 0
-    peak_depth: int = 0
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: _QueueMetrics) -> None:
+        self._metrics = metrics
+
+    @property
+    def submitted(self) -> int:
+        return int(self._metrics.submitted.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._metrics.completed.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._metrics.failed.value)
+
+    @property
+    def cancelled(self) -> int:
+        return int(self._metrics.cancelled.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._metrics.rejected_full.value)
+
+    @property
+    def rejected_closed(self) -> int:
+        return int(self._metrics.rejected_closed.value)
+
+    @property
+    def expired_admission(self) -> int:
+        """Deadline sheds before the queue (a front-end's pre-shed)."""
+        return int(self._metrics.expired_admission.value)
+
+    @property
+    def expired_queue(self) -> int:
+        """Deadline sheds by a queue worker at dispatch."""
+        return int(self._metrics.expired_queue.value)
+
+    @property
+    def expired(self) -> int:
+        """Total deadline sheds (both stages) — the pre-split name."""
+        return self.expired_admission + self.expired_queue
+
+    @property
+    def peak_depth(self) -> int:
+        return int(self._metrics.peak_depth.value)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueueStats(submitted={self.submitted}, "
+            f"completed={self.completed}, failed={self.failed}, "
+            f"cancelled={self.cancelled}, rejected={self.rejected}, "
+            f"rejected_closed={self.rejected_closed}, "
+            f"expired={self.expired_admission}+{self.expired_queue}, "
+            f"peak_depth={self.peak_depth})"
+        )
 
 
 class ServingQueue:
@@ -151,9 +265,21 @@ class ServingQueue:
     max_depth:
         Queued-but-undispatched request bound; submissions beyond it
         raise :class:`~repro.errors.QueueFull`.
+    registry:
+        The :class:`~repro.observability.MetricsRegistry` the queue
+        publishes into (admission counters, the depth gauge, the wait
+        histogram).  ``None`` creates a private registry; a serving
+        stack wires one shared registry through all of its layers so
+        ``GET /metrics`` sees everything.
     """
 
-    def __init__(self, manager: Any, workers: int = 2, max_depth: int = 64) -> None:
+    def __init__(
+        self,
+        manager: Any,
+        workers: int = 2,
+        max_depth: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if max_depth < 1:
@@ -161,6 +287,7 @@ class ServingQueue:
         self.manager = manager
         self.workers = workers
         self.max_depth = max_depth
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._queue: "_queue.Queue" = _queue.Queue(maxsize=max_depth)
         self._lock = threading.Lock()
         # Space waiters (blocking submitters) park here; workers notify
@@ -168,7 +295,9 @@ class ServingQueue:
         # left waiting on a queue that will never drain for them.
         self._space = threading.Condition(self._lock)
         self._closed = False
-        self.stats = QueueStats()
+        self._metrics = _QueueMetrics(self.registry)
+        self._metrics.depth.set_function(self._queue.qsize)
+        self.stats = QueueStats(self._metrics)
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -207,8 +336,7 @@ class ServingQueue:
         )
         item = (request, future, arrived)
         if not self._try_enqueue(item):
-            with self._lock:
-                self.stats.rejected += 1
+            self._metrics.rejected_full.inc()
             raise QueueFull(
                 f"serving queue is at max_depth={self.max_depth}; "
                 "retry later or raise the depth",
@@ -247,7 +375,7 @@ class ServingQueue:
         with self._space:
             while True:
                 if self._closed:
-                    self.stats.rejected_closed += 1
+                    self._metrics.rejected_closed.inc()
                     raise ServingError(
                         "cannot submit to a closed ServingQueue"
                     )
@@ -260,7 +388,7 @@ class ServingQueue:
                         else give_up_at - time.perf_counter()
                     )
                     if remaining is not None and remaining <= 0:
-                        self.stats.rejected += 1
+                        self._metrics.rejected_full.inc()
                         raise QueueFull(
                             "serving queue stayed at max_depth="
                             f"{self.max_depth} for {timeout}s",
@@ -268,10 +396,8 @@ class ServingQueue:
                         )
                     self._space.wait(remaining)
                     continue
-                self.stats.submitted += 1
-                self.stats.peak_depth = max(
-                    self.stats.peak_depth, self._queue.qsize()
-                )
+                self._metrics.submitted.inc()
+                self._metrics.peak_depth.set_max(self._queue.qsize())
                 return future
 
     @staticmethod
@@ -287,15 +413,26 @@ class ServingQueue:
         """
         with self._lock:
             if self._closed:
-                self.stats.rejected_closed += 1
+                self._metrics.rejected_closed.inc()
                 raise ServingError("cannot submit to a closed ServingQueue")
             try:
                 self._queue.put_nowait(item)
             except _queue.Full:
                 return False
-            self.stats.submitted += 1
-            self.stats.peak_depth = max(self.stats.peak_depth, self._queue.qsize())
+            self._metrics.submitted.inc()
+            self._metrics.peak_depth.set_max(self._queue.qsize())
         return True
+
+    def note_admission_expired(self) -> None:
+        """Count a deadline shed that happened *before* the queue.
+
+        A front-end that holds requests in its own admission stage (the
+        socket server) sheds dead-on-arrival requests without spending a
+        queue slot on them; reporting the shed here keeps the whole
+        expired story — pre-queue and in-queue — on one instrument,
+        split by the ``stage`` label.
+        """
+        self._metrics.expired_admission.inc()
 
     def detect(
         self,
@@ -322,14 +459,18 @@ class ServingQueue:
             request, future, enqueued_at = item
             try:
                 if not future.set_running_or_notify_cancel():
-                    with self._lock:
-                        self.stats.cancelled += 1
+                    self._metrics.cancelled.inc()
                     continue
                 wait_seconds = time.perf_counter() - enqueued_at
+                self._metrics.wait_seconds.observe(wait_seconds)
+                if request.trace is not None:
+                    request.trace.record("queue_wait", wait_seconds)
                 deadline = request.deadline_seconds
                 if deadline is not None and wait_seconds > deadline:
                     # Shed, don't serve: nobody is waiting for this
                     # result any more, so the detect must not run.
+                    # Counted before resolving, like completed/failed.
+                    self._metrics.expired_queue.inc()
                     future.set_exception(
                         DeadlineExceeded(
                             f"deadline of {deadline}s exceeded after "
@@ -338,8 +479,6 @@ class ServingQueue:
                             waited_seconds=wait_seconds,
                         )
                     )
-                    with self._lock:
-                        self.stats.expired += 1
                     continue
                 try:
                     result = self.manager.detect(
@@ -349,14 +488,14 @@ class ServingQueue:
                         **request.params,
                     )
                 except Exception as error:
+                    # Count before resolving: once a waiter can see the
+                    # outcome, a concurrent /metrics scrape must too.
+                    self._metrics.failed.inc()
                     future.set_exception(error)
-                    with self._lock:
-                        self.stats.failed += 1
                 else:
                     result.stats["queue_wait_seconds"] = wait_seconds
+                    self._metrics.completed.inc()
                     future.set_result(result)
-                    with self._lock:
-                        self.stats.completed += 1
             finally:
                 self._queue.task_done()
 
@@ -393,8 +532,7 @@ class ServingQueue:
                     break
                 _, future, _ = item
                 if future.cancel():
-                    with self._lock:
-                        self.stats.cancelled += 1
+                    self._metrics.cancelled.inc()
                 self._queue.task_done()
         for _ in self._threads:
             self._queue.put(_SENTINEL)

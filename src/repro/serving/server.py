@@ -56,10 +56,10 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import CancelledError
-from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set
 
 from ..errors import ConfigurationError, DeadlineExceeded, QueueFull, ServingError
+from ..observability import MetricsRegistry
 from .service import ServingService, error_response
 
 __all__ = ["ServerStats", "ServingServer", "ServerHandle", "start_server_thread"]
@@ -69,25 +69,109 @@ __all__ = ["ServerStats", "ServingServer", "ServerHandle", "start_server_thread"
 QUEUE_FULL_ERROR = "queue full"
 
 
-@dataclass
+class _ServerMetrics:
+    """The socket front-end's registry instruments."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.clients_total = registry.counter(
+            "repro_server_clients_total", "Connections accepted"
+        )
+        self.clients_active = registry.gauge(
+            "repro_server_clients_active", "Connections currently open"
+        )
+        self.requests = registry.counter(
+            "repro_server_requests_total", "Request lines parsed"
+        )
+        responses = registry.counter(
+            "repro_server_responses_total",
+            "Response lines rendered, by outcome",
+            labelnames=("status",),
+        )
+        self.responses_ok = responses.labels(status="ok")
+        self.responses_error = responses.labels(status="error")
+        self.queue_full_rejections = registry.counter(
+            "repro_server_queue_full_rejections_total",
+            "Per-client in-flight-cap (or shared-queue) refusals",
+        )
+        self.deadline_expired = registry.counter(
+            "repro_server_deadline_expired_total",
+            "Requests shed past their deadline (admission or queue stage)",
+        )
+        self.oversized_drops = registry.counter(
+            "repro_server_oversized_drops_total",
+            "Connections dropped for exceeding max_line_bytes",
+        )
+
+
 class ServerStats:
     """Aggregate accounting of one socket server's traffic.
 
     ``requests`` counts parsed request lines, ``responses`` the lines
     written back (``ok`` + ``failed``).  ``queue_full_rejections`` are
     per-client in-flight-cap refusals; ``deadline_expired`` are requests
-    the queue shed past their deadline — both are subsets of
-    ``failed``.
+    shed past their deadline (at admission or in the queue) — both are
+    subsets of ``failed``.  ``oversized_drops`` counts connections cut
+    for exceeding ``max_line_bytes``.
+
+    A read-only view over the server's registry instruments: same
+    attribute names as the pre-observability dataclass, same numbers,
+    but the registry is the single source of truth (``GET /metrics``
+    renders these exact series as ``repro_server_*``).
     """
 
-    clients_total: int = 0
-    clients_active: int = 0
-    requests: int = 0
-    responses: int = 0
-    ok: int = 0
-    failed: int = 0
-    queue_full_rejections: int = 0
-    deadline_expired: int = 0
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: _ServerMetrics) -> None:
+        self._metrics = metrics
+
+    @property
+    def clients_total(self) -> int:
+        return int(self._metrics.clients_total.value)
+
+    @property
+    def clients_active(self) -> int:
+        return int(self._metrics.clients_active.value)
+
+    @property
+    def requests(self) -> int:
+        return int(self._metrics.requests.value)
+
+    @property
+    def ok(self) -> int:
+        return int(self._metrics.responses_ok.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._metrics.responses_error.value)
+
+    @property
+    def responses(self) -> int:
+        return self.ok + self.failed
+
+    @property
+    def queue_full_rejections(self) -> int:
+        return int(self._metrics.queue_full_rejections.value)
+
+    @property
+    def deadline_expired(self) -> int:
+        return int(self._metrics.deadline_expired.value)
+
+    @property
+    def oversized_drops(self) -> int:
+        return int(self._metrics.oversized_drops.value)
+
+    def __repr__(self) -> str:
+        return (
+            "ServerStats("
+            f"clients_total={self.clients_total}, "
+            f"clients_active={self.clients_active}, "
+            f"requests={self.requests}, responses={self.responses}, "
+            f"ok={self.ok}, failed={self.failed}, "
+            f"queue_full_rejections={self.queue_full_rejections}, "
+            f"deadline_expired={self.deadline_expired}, "
+            f"oversized_drops={self.oversized_drops})"
+        )
 
 
 class _Slot:
@@ -216,7 +300,8 @@ class ServingServer:
         self.max_line_bytes = max_line_bytes
         self.stop_grace_seconds = stop_grace_seconds
         self.max_buffered_responses = max(16, 2 * max_inflight_per_client)
-        self.stats = ServerStats()
+        self._metrics = _ServerMetrics(self.service.registry)
+        self.stats = ServerStats(self._metrics)
         self._server: Optional[asyncio.AbstractServer] = None
         self._clients: "deque[_Client]" = deque()  # round-robin order
         self._handler_tasks: "Set[asyncio.Task]" = set()
@@ -319,8 +404,8 @@ class ServingServer:
         self._client_serial += 1
         client = _Client(f"client-{self._client_serial}", writer)
         self._clients.append(client)
-        self.stats.clients_total += 1
-        self.stats.clients_active += 1
+        self._metrics.clients_total.inc()
+        self._metrics.clients_active.inc()
         task = asyncio.current_task()
         if task is not None:
             self._handler_tasks.add(task)
@@ -348,12 +433,12 @@ class ServingServer:
                 parsed = await loop.run_in_executor(
                     None, self.service.parse_line, line
                 )
-                self.stats.requests += 1
+                self._metrics.requests.inc()
                 slot = _Slot()
                 if isinstance(parsed, dict):
                     slot.resolve_error(parsed)
                 elif client.outstanding >= self.max_inflight_per_client:
-                    self.stats.queue_full_rejections += 1
+                    self._metrics.queue_full_rejections.inc()
                     slot.resolve_error(
                         {
                             "id": parsed.id,
@@ -380,7 +465,7 @@ class ServingServer:
             # LimitOverrunError (a ValueError): an oversized line.  The
             # stream is unrecoverable mid-line, so stop reading — the
             # finally still flushes every buffered response.
-            pass
+            self._metrics.oversized_drops.inc()
         finally:
             client.eof = True
             client.wake.set()
@@ -392,7 +477,7 @@ class ServingServer:
                 self._clients.remove(client)
             except ValueError:
                 pass
-            self.stats.clients_active -= 1
+            self._metrics.clients_active.inc(-1)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -422,7 +507,7 @@ class ServingServer:
                 if isinstance(
                     self._future_exception(pending.future), DeadlineExceeded
                 ):
-                    self.stats.deadline_expired += 1
+                    self._metrics.deadline_expired.inc()
                 response = self.service.render_response(pending)
             client.slots.popleft()
             client.slots_free.set()
@@ -432,11 +517,10 @@ class ServingServer:
             # tail responses are accounted (ok/failed stay consistent
             # with the queue's own completions) even though delivery
             # failed — the drain below keeps going either way.
-            self.stats.responses += 1
             if response.get("ok"):
-                self.stats.ok += 1
+                self._metrics.responses_ok.inc()
             else:
-                self.stats.failed += 1
+                self._metrics.responses_error.inc()
             if not client.broken:
                 try:
                     client.writer.write(
@@ -494,8 +578,11 @@ class ServingServer:
                 waited = time.perf_counter() - slot.request.arrived_at
                 if waited > deadline:
                     # Already dead on arrival at admission: shed here
-                    # rather than spend a queue slot on it.
-                    self.stats.deadline_expired += 1
+                    # rather than spend a queue slot on it.  The queue
+                    # never saw this request, so report the pre-shed to
+                    # its admission-stage expiry counter explicitly.
+                    self._metrics.deadline_expired.inc()
+                    self.service.queue.note_admission_expired()
                     slot.resolve_error(
                         error_response(
                             slot.request.id,
@@ -517,7 +604,7 @@ class ServingServer:
                     self.submit_timeout_seconds,
                 )
             except QueueFull:
-                self.stats.queue_full_rejections += 1
+                self._metrics.queue_full_rejections.inc()
                 slot.resolve_error(
                     {
                         "id": slot.request.id,

@@ -51,6 +51,7 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import QueueFull, ServingError
 from ..graph import Graph, read_edge_list
+from ..observability import MetricsRegistry, new_trace
 from .manager import SessionManager
 from .queue import ServeRequest, ServingQueue, validate_deadline_seconds
 
@@ -92,6 +93,34 @@ class _Pending:
     submitted_at: float
     depth_at_submit: int
     done_at: Optional[float] = None
+    trace: Optional[Any] = None
+
+
+class _ServiceMetrics:
+    """The service's own instruments: the per-response ledger.
+
+    ``render_response`` is the one funnel every front-end (batch,
+    socket, HTTP) pushes its responses through, so counting there gives
+    one consistent ok/error ledger no matter how requests arrived.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        responses = registry.counter(
+            "repro_service_responses_total",
+            "Responses rendered, by outcome",
+            labelnames=("status",),
+        )
+        self.responses_ok = responses.labels(status="ok")
+        self.responses_error = responses.labels(status="error")
+        self.parse_seconds = registry.histogram(
+            "repro_service_parse_seconds",
+            "Request-line parse time (may include a graph-file read)",
+        )
+        self.latency_seconds = registry.histogram(
+            "repro_service_latency_seconds",
+            "Queue submission to future resolution, per request",
+        )
 
 
 class ServingService:
@@ -112,6 +141,12 @@ class ServingService:
         How long a streamed request may wait for queue space before its
         response becomes ``ok: false`` (``None``: wait indefinitely —
         the pre-deadline behaviour).
+    registry:
+        The :class:`~repro.observability.MetricsRegistry` wired through
+        the whole stack — the manager, its sessions, the queue, and any
+        front-end (socket / HTTP) serving from this service all publish
+        here, so one ``GET /metrics`` scrape sees every layer.  Default:
+        a caller-supplied manager's registry, else a fresh one.
     """
 
     def __init__(
@@ -126,9 +161,17 @@ class ServingService:
         batch_size: Optional[int] = None,
         representation: str = "auto",
         submit_timeout_seconds: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.submit_timeout_seconds = submit_timeout_seconds
         self._owns_manager = manager is None
+        if registry is None:
+            # Adopt a supplied manager's registry so the stack still
+            # shares one scrape; otherwise the service roots a new one.
+            # getattr: tests wrap managers in duck-typed proxies that
+            # may not carry one.
+            registry = getattr(manager, "registry", None) or MetricsRegistry()
+        self.registry = registry
         # Explicit None-check: SessionManager defines __len__, so a
         # caller's freshly-built (empty) manager is *falsy* and a bare
         # `manager or ...` would silently replace it.
@@ -139,10 +182,15 @@ class ServingService:
             backend=backend,
             batch_size=batch_size,
             representation=representation,
+            registry=registry,
         )
         self.queue = ServingQueue(
-            self.manager, workers=queue_workers, max_depth=max_depth
+            self.manager,
+            workers=queue_workers,
+            max_depth=max_depth,
+            registry=registry,
         )
+        self._metrics = _ServiceMetrics(registry)
         self._graph_cache: "OrderedDict[str, Tuple[Tuple[int, int], Graph]]" = (
             OrderedDict()
         )
@@ -235,16 +283,31 @@ class ServingService:
         *Any* parse-path failure — malformed JSON, a missing edge-list
         file, a malformed inline edge — becomes a per-request error
         response rather than an exception: one bad line must never take
-        down the rest of the batch.  The socket front-end shares this
-        exact path, so both front-ends classify bad input identically.
+        down the rest of the batch.  The socket and HTTP front-ends
+        share this exact path, so every front-end classifies bad input
+        identically.
+
+        Every line gets a :class:`~repro.observability.RequestTrace`
+        here — the id a response echoes back in its ``trace``
+        annotation — and the ``parse`` span is the first one recorded.
         """
         request_id = None
+        trace = new_trace()
         try:
-            payload = self._payload_from_line(line)
-            request_id = payload.get("id")
-            return self._request_from_payload(payload)
+            with trace.span("parse"):
+                payload = self._payload_from_line(line)
+                request_id = payload.get("id")
+                request = self._request_from_payload(payload)
         except Exception as error:
-            return error_response(request_id, error)
+            response = error_response(request_id, error)
+            response["trace"] = trace.export()
+            self._metrics.parse_seconds.observe(
+                trace.spans.get("parse", 0.0)
+            )
+            return response
+        request.trace = trace
+        self._metrics.parse_seconds.observe(trace.spans.get("parse", 0.0))
+        return request
 
     # Pre-socket-front-end name, kept for downstream callers.
     _parse_line = parse_line
@@ -271,6 +334,7 @@ class ServingService:
             future=future,
             submitted_at=time.perf_counter(),
             depth_at_submit=depth,
+            trace=request.trace,
         )
         future.add_done_callback(
             lambda _f, p=pending: setattr(p, "done_at", time.perf_counter())
@@ -297,6 +361,7 @@ class ServingService:
             return error_response(request.id, error)
 
     def _response(self, pending: _Pending) -> Dict[str, Any]:
+        trace = pending.trace
         try:
             result = pending.future.result()
         # CancelledError is a BaseException since 3.8 but still a
@@ -304,16 +369,33 @@ class ServingService:
         # (config TypeErrors included) is likewise isolated to its own
         # response rather than aborting the batch.
         except (Exception, CancelledError) as error:
-            return error_response(pending.request_id, error)
+            response = error_response(pending.request_id, error)
+            if trace is not None:
+                response["trace"] = trace.export()
+            return response
         latency = (pending.done_at or time.perf_counter()) - pending.submitted_at
+        self._metrics.latency_seconds.observe(latency)
         stats = result.stats
-        return {
+        if trace is not None:
+            # queue_wait was recorded by the worker; fill in the rest of
+            # the span ledger here so the exported trace covers
+            # parse -> queue wait -> acquire -> detect -> render.
+            acquire = stats.get("session_acquire_seconds")
+            if acquire is not None:
+                trace.record("session_acquire", acquire)
+            trace.record("detect", result.elapsed_seconds)
+            trace.mark("session_hit", stats.get("session_hit"))
+            with trace.span("render"):
+                communities = _serialize_cover(result.cover)
+        else:
+            communities = _serialize_cover(result.cover)
+        response = {
             "id": pending.request_id,
             "ok": True,
             "algorithm": result.algorithm,
             "fingerprint": stats.get("session_fingerprint"),
             "session_hit": stats.get("session_hit"),
-            "communities": _serialize_cover(result.cover),
+            "communities": communities,
             "elapsed_seconds": result.elapsed_seconds,
             "latency_seconds": latency,
             "queue_depth": pending.depth_at_submit,
@@ -323,6 +405,9 @@ class ServingService:
                 if key in stats
             },
         }
+        if trace is not None:
+            response["trace"] = trace.export()
+        return response
 
     def handle_lines(
         self, lines: Iterable[str]
@@ -367,8 +452,14 @@ class ServingService:
         block the event loop.
         """
         if isinstance(item, dict):
-            return item
-        return self._response(item)
+            response = item
+        else:
+            response = self._response(item)
+        if response.get("ok"):
+            self._metrics.responses_ok.inc()
+        else:
+            self._metrics.responses_error.inc()
+        return response
 
     # Pre-socket-front-end name, kept for downstream callers.
     _emit = render_response

@@ -1,0 +1,228 @@
+"""MetricsRegistry unit contract: instruments, labels, rendering.
+
+The registry is the single source of truth every serving layer
+publishes into, so its semantics are pinned tightly: get-or-create
+identity, type/label mismatch rejection, thread-safe counting, gauge
+callbacks that survive failing owners, cumulative histogram rendering
+in the Prometheus text format, and the no-op twin reading all-zero.
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "x")
+        second = registry.counter("x_total", "x")
+        assert first is second
+
+    def test_labeled_children_are_independent_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "rejects_total", "rejects", labelnames=("reason",)
+        )
+        family.labels(reason="full").inc(2)
+        family.labels(reason="closed").inc()
+        assert family.labels(reason="full").value == 2
+        assert family.labels(reason="closed").value == 1
+
+    def test_labels_by_position_and_keyword_hit_same_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("y_total", "y", labelnames=("kind",))
+        family.labels("a").inc()
+        family.labels(kind="a").inc()
+        assert family.labels("a").value == 2
+
+    def test_unlabeled_access_on_labeled_family_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("z_total", "z", labelnames=("kind",))
+        with pytest.raises(ConfigurationError):
+            family.inc()
+
+    def test_concurrent_increments_do_not_lose_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "c")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestRegistryIdentity:
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "as counter")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("thing", "as gauge")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "t", labelnames=("a",))
+        with pytest.raises(ConfigurationError):
+            registry.counter("t_total", "t", labelnames=("b",))
+
+    def test_bad_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("bad-name", "hyphens are not allowed")
+
+    def test_registries_are_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n_total", "n").inc()
+        assert b.counter("n_total", "n").value == 0
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_set_max_tracks_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("peak", "peak")
+        gauge.set_max(3)
+        gauge.set_max(1)
+        assert gauge.value == 3
+
+    def test_callback_backed_reads(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("live", "live")
+        box = {"value": 7}
+        gauge.set_function(lambda: box["value"])
+        assert gauge.value == 7
+        box["value"] = 9
+        assert gauge.value == 9
+
+    def test_failing_callback_degrades_to_zero(self):
+        """A callback racing its component's shutdown must not take
+        down a scrape."""
+        registry = MetricsRegistry()
+        gauge = registry.gauge("racy", "racy")
+
+        def explode():
+            raise RuntimeError("owner is gone")
+
+        gauge.set_function(explode)
+        assert gauge.value == 0.0
+        assert "racy 0" in registry.render()
+
+
+class TestHistograms:
+    def test_observe_sum_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", "lat", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(10.0)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(10.55)
+
+    def test_cumulative_bucket_rendering(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", "lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 10.0):
+            histogram.observe(value)
+        text = registry.render()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_inf_bucket_appended_automatically(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "h", buckets=(1.0,))
+        assert histogram.buckets[-1] == math.inf
+
+    def test_non_increasing_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", "h", buckets=(1.0, 1.0))
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 30.0
+
+
+class TestRendering:
+    def test_help_type_and_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "what a counts").inc(3)
+        family = registry.counter("b_total", "b", labelnames=("kind",))
+        family.labels(kind="x").inc()
+        text = registry.render()
+        assert "# HELP a_total what a counts" in text
+        assert "# TYPE a_total counter" in text
+        assert "a_total 3" in text
+        assert 'b_total{kind="x"} 1' in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("e_total", "e", labelnames=("path",))
+        family.labels(path='a"b\\c\nd').inc()
+        assert 'path="a\\"b\\\\c\\nd"' in registry.render()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_snapshot_flattens_series(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "a").inc(2)
+        family = registry.counter("b_total", "b", labelnames=("k",))
+        family.labels(k="v").inc()
+        registry.histogram("h", "h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["a_total"] == 2
+        assert snapshot['b_total{k="v"}'] == 1
+        assert snapshot["h_count"] == 1
+        assert snapshot["h_sum"] == pytest.approx(0.5)
+
+
+class TestNullRegistry:
+    def test_writes_accepted_reads_zero(self):
+        registry = NullMetricsRegistry()
+        counter = registry.counter("n_total", "n")
+        counter.inc(100)
+        assert counter.value == 0
+        gauge = registry.gauge("g", "g")
+        gauge.set(5)
+        assert gauge.value == 0
+        histogram = registry.histogram("h", "h")
+        histogram.observe(1.0)
+        assert histogram.count == 0
+
+    def test_labels_and_render_are_inert(self):
+        family = NULL_REGISTRY.counter("l_total", "l", labelnames=("k",))
+        family.labels(k="x").inc()
+        assert NULL_REGISTRY.render() == ""
+        assert NULL_REGISTRY.snapshot() == {}

@@ -1,0 +1,95 @@
+"""RequestTrace unit contract: ids, spans, marks, export."""
+
+import json
+import threading
+
+from repro.observability import RequestTrace, new_trace, reset_trace_ids
+
+
+class TestIds:
+    def test_ids_are_monotonic_and_formatted(self):
+        reset_trace_ids()
+        first, second = new_trace(), new_trace()
+        assert first.trace_id == "t-000001"
+        assert second.trace_id == "t-000002"
+
+    def test_reset_restarts_the_sequence(self):
+        reset_trace_ids()
+        new_trace()
+        reset_trace_ids()
+        assert new_trace().trace_id == "t-000001"
+
+    def test_ids_unique_under_concurrency(self):
+        reset_trace_ids()
+        seen = []
+        lock = threading.Lock()
+
+        def spin():
+            for _ in range(200):
+                trace = new_trace()
+                with lock:
+                    seen.append(trace.trace_id)
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 1600
+
+    def test_explicit_id_respected(self):
+        assert RequestTrace(trace_id="t-custom").trace_id == "t-custom"
+
+
+class TestSpans:
+    def test_record_and_read(self):
+        trace = new_trace()
+        trace.record("detect", 0.25)
+        assert trace.spans == {"detect": 0.25}
+
+    def test_span_context_manager_times_the_block(self):
+        trace = new_trace()
+        with trace.span("parse"):
+            pass
+        assert "parse" in trace.spans
+        assert trace.spans["parse"] >= 0.0
+
+    def test_span_records_even_when_block_raises(self):
+        trace = new_trace()
+        try:
+            with trace.span("parse"):
+                raise ValueError("bad line")
+        except ValueError:
+            pass
+        assert "parse" in trace.spans
+
+    def test_last_write_wins(self):
+        trace = new_trace()
+        trace.record("detect", 1.0)
+        trace.record("detect", 2.0)
+        assert trace.spans["detect"] == 2.0
+
+
+class TestExport:
+    def test_export_shape(self):
+        trace = RequestTrace(trace_id="t-000009")
+        trace.record("detect", 0.5)
+        trace.mark("session_hit", True)
+        exported = trace.export()
+        assert exported == {
+            "id": "t-000009",
+            "spans": {"detect": 0.5},
+            "session_hit": True,
+        }
+
+    def test_export_is_json_serializable(self):
+        trace = new_trace()
+        trace.record("queue_wait", 1e-7)
+        trace.mark("session_hit", False)
+        text = json.dumps(trace.export())
+        assert trace.trace_id in text
+
+    def test_export_rounds_span_precision(self):
+        trace = new_trace()
+        trace.record("detect", 0.123456789123456)
+        assert trace.export()["spans"]["detect"] == 0.123456789

@@ -1,0 +1,480 @@
+"""The HTTP front-end: schema fidelity, /health, /metrics, traces.
+
+The acceptance matrix extends the socket front-end's: covers served
+over HTTP must be byte-identical to direct ``GraphSession.detect`` for
+all four detectors on both int- and str-labelled graphs.  The
+operational endpoints are pinned against the stack's real accounting:
+a /metrics scrape must agree with the ``QueueStats`` / ``ManagerStats``
+views (one registry, one truth), and /health must flip to draining
+*during* a graceful stop, while in-flight work is still finishing.
+"""
+
+import asyncio
+import http.client
+import json
+import re
+import threading
+import time
+
+import pytest
+
+from repro import Graph, GraphSession
+from repro.generators import ring_of_cliques
+from repro.serving import (
+    HttpServer,
+    ServingService,
+    start_http_thread,
+    start_server_thread,
+)
+from repro.serving.service import _serialize_cover
+
+DETECTORS = ("oca", "lfk", "cfinder", "cpm")
+SEED = 41
+
+
+# ----------------------------------------------------------------------
+# Plumbing
+# ----------------------------------------------------------------------
+def _request(handle, method, path, body=None, headers=None, timeout=30.0):
+    """One HTTP exchange; returns (status, headers dict, body text)."""
+    conn = http.client.HTTPConnection(handle.host, handle.port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return (
+            response.status,
+            {k.lower(): v for k, v in response.getheaders()},
+            response.read().decode("utf-8"),
+        )
+    finally:
+        conn.close()
+
+
+def _detect_lines(handle, payloads):
+    """POST /detect with one JSONL line per payload; parsed responses."""
+    body = "".join(json.dumps(p) + "\n" for p in payloads).encode("utf-8")
+    status, _, text = _request(
+        handle, "POST", "/detect", body=body,
+        headers={"Content-Type": "application/x-ndjson"},
+    )
+    assert status == 200
+    return [json.loads(line) for line in text.strip().splitlines()]
+
+
+def _parse_metrics(text):
+    """Prometheus text -> {'name{labels}': float}, comments skipped."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, value = line.rsplit(" ", 1)
+        samples[key] = float(value)
+    return samples
+
+
+@pytest.fixture()
+def int_graph():
+    g, _ = ring_of_cliques(4, 5)
+    return g
+
+
+@pytest.fixture()
+def str_graph(int_graph):
+    mapping = {node: f"n{node}" for node in int_graph.nodes()}
+    g = Graph(nodes=(mapping[node] for node in int_graph.nodes()))
+    for u, v in int_graph.edges():
+        g.add_edge(mapping[u], mapping[v])
+    return g
+
+
+def _edges_payload(graph):
+    return {"edges": [[u, v] for u, v in graph.edges()]}
+
+
+# ----------------------------------------------------------------------
+# Schema fidelity over HTTP
+# ----------------------------------------------------------------------
+class TestHttpAcceptanceMatrix:
+    def test_http_covers_byte_identical_to_direct_sessions(
+        self, int_graph, str_graph
+    ):
+        """4 detectors x {int,str} labels: POST /detect serves exactly
+        the canonical serialization of the direct GraphSession cover."""
+        expected = {}
+        for label, graph in (("int", int_graph), ("str", str_graph)):
+            with GraphSession(graph) as session:
+                for name in DETECTORS:
+                    cover = session.detect(name, seed=SEED).cover
+                    expected[(label, name)] = _serialize_cover(cover)
+
+        with start_http_thread(max_sessions=2) as handle:
+            payloads = [
+                {
+                    "id": f"{label}-{name}",
+                    "graph": _edges_payload(graph),
+                    "algorithm": name,
+                    "seed": SEED,
+                }
+                for label, graph in (("int", int_graph), ("str", str_graph))
+                for name in DETECTORS
+            ]
+            responses = _detect_lines(handle, payloads)
+            assert len(responses) == len(payloads)
+            for payload, response in zip(payloads, responses):
+                assert response["ok"], response
+                assert response["id"] == payload["id"]
+                label, name = payload["id"].split("-", 1)
+                assert response["communities"] == expected[(label, name)]
+                assert response["algorithm"] == name
+
+    def test_http_and_socket_response_lines_are_byte_identical(
+        self, int_graph
+    ):
+        """The exact response text, not just the cover: both front-ends
+        serialize through the same helpers, modulo per-run timings."""
+        payload = {
+            "id": "same",
+            "graph": _edges_payload(int_graph),
+            "algorithm": "oca",
+            "seed": SEED,
+        }
+
+        def _scrub(line):
+            response = json.loads(line)
+            for volatile in ("elapsed_seconds", "latency_seconds",
+                             "stats", "trace"):
+                response.pop(volatile, None)
+            return json.dumps(response, sort_keys=True)
+
+        with start_http_thread(max_sessions=1) as handle:
+            _, _, http_text = _request(
+                handle, "POST", "/detect",
+                body=(json.dumps(payload) + "\n").encode("utf-8"),
+            )
+        import socket as socket_module
+
+        with start_server_thread(max_sessions=1) as handle:
+            sock = socket_module.create_connection(
+                (handle.host, handle.port), timeout=30
+            )
+            stream = sock.makefile("rw", encoding="utf-8")
+            stream.write(json.dumps(payload) + "\n")
+            stream.flush()
+            socket_text = stream.readline()
+            sock.close()
+        assert _scrub(http_text.strip()) == _scrub(socket_text.strip())
+
+    def test_per_line_errors_do_not_poison_the_body(self, int_graph):
+        with start_http_thread(max_sessions=1) as handle:
+            body = (
+                json.dumps(
+                    {
+                        "id": "good",
+                        "graph": _edges_payload(int_graph),
+                        "algorithm": "oca",
+                        "seed": SEED,
+                    }
+                )
+                + "\n"
+                + "this is not json\n"
+                + json.dumps({"id": "bad-algo",
+                              "graph": _edges_payload(int_graph),
+                              "algorithm": "nope"})
+                + "\n"
+            ).encode("utf-8")
+            status, _, text = _request(handle, "POST", "/detect", body=body)
+            assert status == 200
+            responses = [json.loads(line) for line in text.strip().splitlines()]
+        assert [r["ok"] for r in responses] == [True, False, False]
+        assert responses[0]["id"] == "good"
+        assert responses[2]["id"] == "bad-algo"
+
+    def test_keep_alive_serves_sequential_requests(self, int_graph):
+        with start_http_thread(max_sessions=1) as handle:
+            conn = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=30
+            )
+            try:
+                for _ in range(3):
+                    conn.request("GET", "/health")
+                    response = conn.getresponse()
+                    assert response.status == 200
+                    response.read()
+            finally:
+                conn.close()
+
+
+# ----------------------------------------------------------------------
+# Request tracing
+# ----------------------------------------------------------------------
+class TestTraces:
+    def test_trace_ids_round_trip_and_spans_cover_the_pipeline(
+        self, int_graph
+    ):
+        with start_http_thread(max_sessions=1) as handle:
+            payloads = [
+                {
+                    "id": f"r{i}",
+                    "graph": _edges_payload(int_graph),
+                    "algorithm": "oca",
+                    "seed": SEED,
+                }
+                for i in range(2)
+            ]
+            responses = _detect_lines(handle, payloads)
+        traces = [response["trace"] for response in responses]
+        ids = [trace["id"] for trace in traces]
+        assert len(set(ids)) == 2
+        for trace_id in ids:
+            assert re.fullmatch(r"t-\d{6}", trace_id)
+        for trace in traces:
+            assert set(trace["spans"]) >= {
+                "parse",
+                "queue_wait",
+                "session_acquire",
+                "detect",
+                "render",
+            }
+            assert all(value >= 0 for value in trace["spans"].values())
+        # The second request hits the first's warm session.
+        assert traces[0]["session_hit"] is False
+        assert traces[1]["session_hit"] is True
+
+    def test_parse_errors_carry_a_trace_too(self):
+        with start_http_thread(max_sessions=1) as handle:
+            responses = _detect_lines(handle, ["not an object"])
+        assert responses[0]["ok"] is False
+        assert re.fullmatch(r"t-\d{6}", responses[0]["trace"]["id"])
+        assert "parse" in responses[0]["trace"]["spans"]
+
+
+# ----------------------------------------------------------------------
+# /metrics
+# ----------------------------------------------------------------------
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_matches_stats_views(self, int_graph):
+        with start_http_thread(max_sessions=2) as handle:
+            payloads = [
+                {
+                    "id": f"r{i}",
+                    "graph": _edges_payload(int_graph),
+                    "algorithm": "oca",
+                    "seed": SEED,
+                }
+                for i in range(4)
+            ]
+            responses = _detect_lines(handle, payloads)
+            assert all(r["ok"] for r in responses)
+            status, headers, text = _request(handle, "GET", "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            samples = _parse_metrics(text)
+            service = handle.server.service
+            queue_stats = service.queue.stats
+            manager_stats = service.manager.stats
+
+        assert samples["repro_queue_submitted_total"] == queue_stats.submitted
+        assert samples["repro_queue_completed_total"] == queue_stats.completed
+        assert (
+            samples['repro_manager_requests_total{outcome="hit"}']
+            == manager_stats.hits
+        )
+        assert (
+            samples['repro_manager_requests_total{outcome="miss"}']
+            == manager_stats.misses
+        )
+        assert samples["repro_manager_sessions_resident"] == 1
+        assert samples["repro_queue_wait_seconds_count"] == 4
+        assert samples['repro_service_responses_total{status="ok"}'] == 4
+        assert samples['repro_session_detect_total{algorithm="oca"}'] == 4
+        assert samples['repro_http_requests_total{path="/detect"}'] == 1
+        # One registry spans every layer: queue, manager, session,
+        # service, and the HTTP front-end itself all in one scrape.
+        prefixes = {key.split("_")[1] for key in samples if "{" not in key}
+        assert {"queue", "manager", "session", "service", "http"} <= prefixes
+
+    def test_unknown_paths_scrape_as_other(self):
+        with start_http_thread(max_sessions=1) as handle:
+            status, _, _ = _request(handle, "GET", "/nope")
+            assert status == 404
+            _, _, text = _request(handle, "GET", "/metrics")
+            samples = _parse_metrics(text)
+        assert samples['repro_http_requests_total{path="other"}'] == 1
+
+
+# ----------------------------------------------------------------------
+# /health and graceful shutdown
+# ----------------------------------------------------------------------
+class _GatedManager:
+    """A manager stub whose detects block on one gate."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def __len__(self):
+        return 0
+
+    def detect(self, graph, algorithm, seed=None, **params):
+        self.started.set()
+        assert self.release.wait(timeout=30)
+
+        class _Result:
+            algorithm = "stub"
+            cover = [[0]]
+            elapsed_seconds = 0.0
+            raw_cover = None
+            stats = {}
+
+        return _Result()
+
+
+class TestHealthAndShutdown:
+    def test_health_reports_ready_with_live_stack_numbers(self):
+        with start_http_thread(max_sessions=3) as handle:
+            status, _, text = _request(handle, "GET", "/health")
+        assert status == 200
+        payload = json.loads(text)
+        assert payload == {
+            "status": "ready",
+            "queue_depth": 0,
+            "sessions_resident": 0,
+        }
+
+    def test_health_flips_to_draining_during_graceful_stop(self):
+        """During stop(grace): /health answers 503 draining on new
+        connections while an in-flight detect is still finishing, and
+        the in-flight response is delivered before connections close."""
+        gate = _GatedManager()
+        service = ServingService(manager=gate, queue_workers=1, max_depth=4)
+        handle = start_http_thread(service=service)
+        try:
+            results = {}
+
+            def post():
+                results["detect"] = _request(
+                    handle,
+                    "POST",
+                    "/detect",
+                    body=b'{"id": "slow", "fingerprint": "f" }\n',
+                )
+
+            poster = threading.Thread(target=post)
+            poster.start()
+            assert gate.started.wait(timeout=30)
+
+            stop_future = asyncio.run_coroutine_threadsafe(
+                handle.server.stop(), handle._loop
+            )
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if handle.server.draining:
+                    break
+                time.sleep(0.01)
+            status, _, text = _request(handle, "GET", "/health")
+            assert status == 503
+            assert json.loads(text)["status"] == "draining"
+
+            gate.release.set()
+            stop_future.result(timeout=30)
+            poster.join(timeout=30)
+            status, _, text = results["detect"]
+            assert status == 200
+            response = json.loads(text.strip())
+            assert response["id"] == "slow"
+
+            with pytest.raises(OSError):
+                _request(handle, "GET", "/health", timeout=2)
+        finally:
+            gate.release.set()
+            handle.stop()
+            service.close()
+
+    def test_detect_refused_while_draining(self):
+        gate = _GatedManager()
+        service = ServingService(manager=gate, queue_workers=1, max_depth=4)
+        handle = start_http_thread(service=service)
+        try:
+            def post():
+                _request(
+                    handle,
+                    "POST",
+                    "/detect",
+                    body=b'{"id": "slow", "fingerprint": "f"}\n',
+                )
+
+            poster = threading.Thread(target=post)
+            poster.start()
+            assert gate.started.wait(timeout=30)
+            asyncio.run_coroutine_threadsafe(
+                handle.server.stop(), handle._loop
+            )
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if handle.server.draining:
+                    break
+                time.sleep(0.01)
+            status, _, text = _request(
+                handle, "POST", "/detect", body=b'{"id": "late"}\n'
+            )
+            assert status == 503
+            assert json.loads(text)["error"] == "draining"
+            gate.release.set()
+            poster.join(timeout=30)
+        finally:
+            gate.release.set()
+            handle.stop()
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Protocol edges
+# ----------------------------------------------------------------------
+class TestProtocolEdges:
+    def test_unknown_endpoint_404(self):
+        with start_http_thread(max_sessions=1) as handle:
+            status, _, text = _request(handle, "GET", "/covers")
+        assert status == 404
+        assert "no such endpoint" in json.loads(text)["error"]
+
+    def test_wrong_method_405(self):
+        with start_http_thread(max_sessions=1) as handle:
+            status, _, _ = _request(handle, "POST", "/health", body=b"")
+            assert status == 405
+            status, _, _ = _request(handle, "GET", "/detect")
+            assert status == 405
+
+    def test_detect_without_content_length_411(self):
+        with start_http_thread(max_sessions=1) as handle:
+            sock_status = None
+            conn = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=30
+            )
+            try:
+                conn.putrequest("POST", "/detect", skip_accept_encoding=True)
+                conn.endheaders()
+                response = conn.getresponse()
+                sock_status = response.status
+                response.read()
+            finally:
+                conn.close()
+        assert sock_status == 411
+
+    def test_oversized_body_413_and_counted(self):
+        with start_http_thread(
+            max_sessions=1, max_body_bytes=64
+        ) as handle:
+            status, _, text = _request(
+                handle, "POST", "/detect", body=b"x" * 100
+            )
+            assert status == 413
+            assert "max_body_bytes" in json.loads(text)["error"]
+            _, _, metrics_text = _request(handle, "GET", "/metrics")
+            samples = _parse_metrics(metrics_text)
+        assert samples["repro_http_oversized_total"] == 1
+
+    def test_empty_body_yields_empty_response(self):
+        with start_http_thread(max_sessions=1) as handle:
+            status, _, text = _request(handle, "POST", "/detect", body=b"")
+        assert status == 200
+        assert text == ""

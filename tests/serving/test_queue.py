@@ -310,3 +310,54 @@ class TestConcurrentFidelity:
                 for index, future in futures:
                     assert future.result(timeout=60).cover == expected[index]
         assert manager.stats.hits >= len(futures) - len(graphs)
+
+
+class TestExpiredSplit:
+    """``expired`` decomposes into admission pre-shed vs queue-shed."""
+
+    def test_worker_shed_counts_as_queue_stage(self):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=4)
+        try:
+            blocker = queue.submit(ServeRequest(graph="g"))
+            manager.started.wait(timeout=30)
+            doomed = queue.submit(
+                ServeRequest(graph="g", deadline_seconds=0.05)
+            )
+            time.sleep(0.2)
+            manager.release.set()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=30)
+            blocker.result(timeout=30)
+        finally:
+            manager.release.set()
+            queue.close()
+        assert queue.stats.expired_queue == 1
+        assert queue.stats.expired_admission == 0
+        assert queue.stats.expired == 1
+
+    def test_note_admission_expired_counts_as_admission_stage(self):
+        manager = _BlockingManager()
+        manager.release.set()
+        queue = ServingQueue(manager, workers=1, max_depth=4)
+        try:
+            queue.note_admission_expired()
+            queue.note_admission_expired()
+        finally:
+            queue.close()
+        assert queue.stats.expired_admission == 2
+        assert queue.stats.expired_queue == 0
+        # Back-compat: the pre-split aggregate is the sum of both stages.
+        assert queue.stats.expired == 2
+
+    def test_stages_render_as_one_labeled_series(self):
+        manager = _BlockingManager()
+        manager.release.set()
+        queue = ServingQueue(manager, workers=1, max_depth=4)
+        try:
+            queue.note_admission_expired()
+        finally:
+            queue.close()
+        text = queue.registry.render()
+        assert 'repro_queue_expired_total{stage="admission"} 1' in text
+        assert 'repro_queue_expired_total{stage="queue"} 0' in text
