@@ -134,6 +134,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     detect.add_argument(
+        "--shipping",
+        choices=["auto", "shm", "pickle"],
+        default="auto",
+        help=(
+            "how compiled graphs reach process workers: shm (zero-copy "
+            "shared-memory attach), pickle (serialised per worker), or "
+            "auto (shm whenever the process backend would otherwise "
+            "pickle); the cover is identical either way"
+        ),
+    )
+    detect.add_argument(
         "--spectral-solver",
         choices=["power", "lanczos"],
         default="power",
@@ -250,6 +261,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine batch size for every session (part of cover identity)",
     )
     serve.add_argument(
+        "--shipping",
+        choices=["auto", "shm", "pickle"],
+        default="auto",
+        help=(
+            "how compiled graphs reach process workers: shm (zero-copy "
+            "shared-memory segments), pickle (serialise per pool), or "
+            "auto (shm when available and beneficial); covers are "
+            "identical either way"
+        ),
+    )
+    serve.add_argument(
+        "--coalesce",
+        type=int,
+        default=8,
+        help=(
+            "max queued same-fingerprint requests one queue worker "
+            "serves per dispatch group (1 disables coalescing; purely "
+            "a scheduling knob, covers are unchanged)"
+        ),
+    )
+    serve.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the end-of-batch summary line on stderr",
@@ -307,6 +339,7 @@ def _command_detect(args: argparse.Namespace) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
         representation=args.representation,
+        shipping=args.shipping,
         spectral_solver=args.spectral_solver,
     )
     if args.output:
@@ -338,6 +371,7 @@ def _stats_line(service) -> str:
         f"submitted={queue_stats.submitted} "
         f"completed={queue_stats.completed} failed={queue_stats.failed} "
         f"rejected={queue_stats.rejected} expired={queue_stats.expired} "
+        f"coalesced={queue_stats.coalesced} "
         f"(admission={queue_stats.expired_admission} "
         f"queue={queue_stats.expired_queue}) | "
         f"sessions resident={len(service.manager)} "
@@ -365,9 +399,11 @@ def _command_serve_net(args: argparse.Namespace, max_memory_bytes) -> int:
         max_memory_bytes=max_memory_bytes,
         queue_workers=args.queue_workers,
         max_depth=args.max_depth,
+        coalesce=args.coalesce,
         workers=args.workers,
         backend=args.backend,
         batch_size=args.batch_size,
+        shipping=args.shipping,
     )
     servers = []
     if args.listen is not None:
@@ -459,9 +495,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             max_memory_bytes=max_memory_bytes,
             queue_workers=args.queue_workers,
             max_depth=args.max_depth,
+            coalesce=args.coalesce,
             workers=args.workers,
             backend=args.backend,
             batch_size=args.batch_size,
+            shipping=args.shipping,
         )
 
     if args.requests is not None:

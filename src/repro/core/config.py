@@ -83,6 +83,16 @@ class OCAConfig:
         the fitness declares ``monotone_in_internal_edges``, else
         ``dict``).  Covers are bit-identical across representations —
         like ``workers``, this knob only changes speed, never results.
+    shipping:
+        How the compiled graph reaches process workers: ``shm``
+        (zero-copy ``multiprocessing.shared_memory`` segments — workers
+        attach in O(1) regardless of graph size), ``pickle`` (the
+        serialised fallback, always available), or ``auto`` (default:
+        shm exactly where it pays — a process backend, the csr
+        representation, shared memory usable, and a start method that
+        would otherwise pickle the context).  Covers are byte-identical
+        across shipping modes; like ``workers``, this only changes
+        speed and memory, never results.
     fitness:
         Optional custom objective for the greedy search; ``None``
         (default, and the paper's algorithm) uses the directed Laplacian
@@ -106,6 +116,7 @@ class OCAConfig:
     backend: str = "auto"
     batch_size: Optional[int] = None
     representation: str = "auto"
+    shipping: str = "auto"
     fitness: Optional[FitnessFunction] = None
 
     def __post_init__(self) -> None:
@@ -148,6 +159,16 @@ class OCAConfig:
             raise ConfigurationError(
                 "representation must be one of 'auto', 'dict', 'csr'; "
                 f"got {self.representation!r}"
+            )
+        if self.shipping not in ("auto", "shm", "pickle"):
+            raise ConfigurationError(
+                "shipping must be one of 'auto', 'shm', 'pickle'; "
+                f"got {self.shipping!r}"
+            )
+        if self.shipping == "shm" and self.representation == "dict":
+            raise ConfigurationError(
+                "shipping='shm' requires the csr representation "
+                "(the dict graph has no compiled arrays to export)"
             )
         if self.halting is None:
             self.halting = StagnationHalting(patience=20)

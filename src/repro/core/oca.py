@@ -166,6 +166,7 @@ class OCA:
             engine.batch_size == batch_size
             and engine.workers == self.config.workers
             and engine.backend == self.config.backend
+            and engine.shipping == self.config.shipping
         )
 
     def _resolve_seeding(self) -> SeedingStrategy:
@@ -259,6 +260,7 @@ class OCA:
                 backend=self.config.backend,
                 workers=self.config.workers,
                 batch_size=self.config.batch_size,
+                shipping=self.config.shipping,
             )
             pool_mode = "none"
         else:

@@ -67,10 +67,12 @@ class DetectionRequest:
         ``k`` for CPM, any :class:`~repro.core.config.OCAConfig` field —
         or a full ``config`` object — for OCA).  Echoed back on the
         result.
-    workers / backend / batch_size / representation:
+    workers / backend / batch_size / representation / shipping:
         Execution-engine knobs, honoured by algorithms that support them
         (currently OCA) and ignored by the inherently sequential
-        baselines.
+        baselines.  ``shipping`` picks how the compiled graph reaches
+        process workers (``auto`` / ``shm`` / ``pickle``); like
+        ``workers`` it never changes the cover.
     engine:
         Optional pre-built :class:`~repro.engine.ExecutionEngine` that
         the algorithm should run on instead of constructing its own —
@@ -89,6 +91,7 @@ class DetectionRequest:
     backend: str = "auto"
     batch_size: Optional[int] = None
     representation: str = "auto"
+    shipping: str = "auto"
     engine: Optional[Any] = None
 
 

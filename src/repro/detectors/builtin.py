@@ -99,7 +99,7 @@ class OCADetector(DetectorBase):
     ``params`` accepts any :class:`~repro.core.config.OCAConfig` field,
     or a complete config object under the key ``config``.  The request's
     engine knobs (``workers`` / ``backend`` / ``batch_size`` /
-    ``representation``) seed the config defaults; a supplied
+    ``representation`` / ``shipping``) seed the config defaults; a supplied
     ``request.engine`` (the session's persistent pool) is used only when
     it matches the resolved config's engine knobs — a mismatch (e.g. a
     per-call ``batch_size`` override) falls back to an ephemeral engine
@@ -127,6 +127,7 @@ class OCADetector(DetectorBase):
                 "backend": request.backend,
                 "batch_size": request.batch_size,
                 "representation": request.representation,
+                "shipping": request.shipping,
             }
             merged.update(params)
             config = OCAConfig(**merged)

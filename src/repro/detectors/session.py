@@ -159,6 +159,21 @@ class _SessionMetrics:
             "repro_engine_reduce_seconds_total",
             "Wall-clock spent folding engine results",
         )
+        self.engine_shipping = registry.counter(
+            "repro_engine_shipping_total",
+            "Detects by how the worker context crossed the process "
+            "boundary (shm / pickle / inline)",
+            labelnames=("mode",),
+        )
+        self.engine_worker_calls = registry.counter(
+            "repro_engine_worker_calls_total",
+            "Executor dispatches made (chunked worker calls, not tasks)",
+        )
+        self.engine_chunk_tasks = registry.histogram(
+            "repro_engine_chunk_tasks",
+            "Growth tasks per grouped worker call",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        )
 
     def record(self, result: DetectionResult) -> None:
         """Publish one detect result's events into the registry."""
@@ -177,6 +192,13 @@ class _SessionMetrics:
             self.tasks_discarded.inc(engine_stats.tasks_discarded)
             self.engine_dispatch_seconds.inc(engine_stats.dispatch_seconds)
             self.engine_reduce_seconds.inc(engine_stats.reduce_seconds)
+            self.engine_shipping.labels(engine_stats.shipping).inc()
+            if engine_stats.worker_calls:
+                self.engine_worker_calls.inc(engine_stats.worker_calls)
+                self.engine_chunk_tasks.observe(
+                    engine_stats.tasks_dispatched
+                    / max(1, engine_stats.worker_calls)
+                )
 
 
 class GraphSession:
@@ -188,10 +210,16 @@ class GraphSession:
         The graph to serve — a :class:`~repro.graph.Graph` (compiled
         here, once) or an already-compiled
         :class:`~repro.graph.CompiledGraph`.
-    workers / backend / batch_size / representation:
+    workers / backend / batch_size / representation / shipping:
         Default execution configuration for every :meth:`detect` call;
         individual calls may override algorithm parameters but share the
-        session's worker pool.
+        session's worker pool.  ``shipping`` picks how the compiled
+        graph reaches process workers (``auto`` / ``shm`` / ``pickle``);
+        any shared-memory segments the engine exports are owned by the
+        session's persistent pool and released by :meth:`close` (after
+        the workers are joined) — eviction from a
+        :class:`~repro.serving.SessionManager` goes through the same
+        path, so no ``/dev/shm`` entry outlives its session.
 
     The session is a context manager; :meth:`close` releases the
     persistent worker pool.  Detection through a closed session — and a
@@ -216,6 +244,7 @@ class GraphSession:
         backend: str = "auto",
         batch_size: Optional[int] = None,
         representation: str = "auto",
+        shipping: str = "auto",
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not isinstance(graph, (Graph, CompiledGraph)):
@@ -241,6 +270,7 @@ class GraphSession:
         self.backend = backend
         self.batch_size = batch_size
         self.representation = representation
+        self.shipping = shipping
         self._stats = SessionStats(
             nodes=self._compiled.number_of_nodes(),
             edges=self._compiled.number_of_edges(),
@@ -255,6 +285,7 @@ class GraphSession:
             workers=self.workers,
             batch_size=self.batch_size,
             persistent=True,
+            shipping=self.shipping,
         )
         engine.add_close_hook(self._on_pool_closed)
         return engine
@@ -343,6 +374,7 @@ class GraphSession:
             backend=self.backend,
             batch_size=self.batch_size,
             representation=self.representation,
+            shipping=self.shipping,
             engine=self._engine,
         )
         result = detector.detect(request)
@@ -352,9 +384,11 @@ class GraphSession:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the persistent worker pool.
+        """Release the persistent worker pool (and any shm segments).
 
-        A second explicit ``close()`` raises
+        The engine joins its workers before unlinking exported
+        shared-memory segments, so a racing attach can never find a
+        vanished segment.  A second explicit ``close()`` raises
         :class:`~repro.errors.SessionClosedError` — a clear lifecycle
         error at the call site rather than an obscure failure inside the
         pool teardown path.  (Context-manager exit stays tolerant: a

@@ -67,9 +67,33 @@ class ExecutionBackend(Protocol):
         """Apply ``fn`` to every item, returning results in item order."""
         ...
 
+    def map_ordered_batched(
+        self,
+        fn: Callable[[Sequence[ItemT]], List[ResultT]],
+        items: Sequence[ItemT],
+        chunk_size: int,
+    ) -> List[ResultT]:
+        """Apply a chunk function over ``items`` split into ``chunk_size`` runs.
+
+        ``fn`` receives a contiguous sub-sequence and returns its results
+        in sub-sequence order; the flattened output is positionally
+        aligned with ``items``, exactly like :meth:`map_ordered`.  Pool
+        backends dispatch one executor call per chunk, amortising
+        per-task dispatch (and, for processes, per-task pickling)
+        overhead across the chunk.
+        """
+        ...
+
     def close(self) -> None:
         """Release pooled resources; the backend may not be reused after."""
         ...
+
+
+def _chunk(items: Sequence[ItemT], chunk_size: int) -> List[Sequence[ItemT]]:
+    """Split ``items`` into contiguous runs of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
 
 class SerialBackend:
@@ -92,6 +116,18 @@ class SerialBackend:
         self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
     ) -> List[ResultT]:
         return [fn(item) for item in items]
+
+    def map_ordered_batched(
+        self,
+        fn: Callable[[Sequence[ItemT]], List[ResultT]],
+        items: Sequence[ItemT],
+        chunk_size: int,
+    ) -> List[ResultT]:
+        items = list(items)
+        results: List[ResultT] = []
+        for chunk in _chunk(items, chunk_size):
+            results.extend(fn(chunk))
+        return results
 
     def close(self) -> None:
         pass
@@ -133,6 +169,24 @@ class _PoolBackend:
         executor = self._ensure()
         chunksize = max(1, len(items) // (self.workers * 2))
         return list(executor.map(fn, items, chunksize=chunksize))
+
+    def map_ordered_batched(
+        self,
+        fn: Callable[[Sequence[ItemT]], List[ResultT]],
+        items: Sequence[ItemT],
+        chunk_size: int,
+    ) -> List[ResultT]:
+        items = list(items)
+        if not items:
+            return []
+        executor = self._ensure()
+        # Each chunk is one map item -> one future, one executor
+        # dispatch, one (for processes) pickle round-trip per chunk.
+        chunks = _chunk(items, chunk_size)
+        results: List[ResultT] = []
+        for chunk_results in executor.map(fn, chunks):
+            results.extend(chunk_results)
+        return results
 
     def close(self) -> None:
         if self._executor is not None:

@@ -21,28 +21,45 @@ would not have executed.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Hashable, List, Optional, Set
 
 from .._rng import SeedLike, as_master_seed, as_random
 from ..core.fitness import FitnessFunction
 from ..core.halting import HaltingCriterion, RunStatistics
 from ..core.seeding import SeedingStrategy
+from ..errors import ConfigurationError
 from ..graph import Graph
 from ..graph.csr import CompiledGraph
+from ..graph.shm import SharedGraphSegments, export_shared, shm_available
 from .backends import make_backend, resolve_backend_name
 from .progress import BatchRecord, EngineStats, ProgressCallback
 from .reducer import CoverReducer
 from .scheduler import BatchScheduler
 from .tasks import (
     WorkerContext,
+    execute_batch_in_worker,
     execute_growth_task,
     execute_in_worker,
     initialize_worker,
 )
 
-__all__ = ["DEFAULT_BATCH_SIZE", "EngineOutcome", "ExecutionEngine"]
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "SHIPPING_MODES",
+    "EngineOutcome",
+    "ExecutionEngine",
+]
+
+#: Accepted values for the ``shipping`` knob.  ``auto`` resolves to
+#: ``shm`` only where it pays: a process backend, a usable
+#: ``/dev/shm``, and a start method that actually pickles the worker
+#: context (under ``fork`` the initargs are inherited copy-on-write, so
+#: shared-memory export would be pure overhead).
+SHIPPING_MODES = ("auto", "shm", "pickle")
 
 Node = Hashable
 
@@ -91,6 +108,13 @@ class ExecutionEngine:
         pays pool startup and context shipping exactly once.  The owner
         must call :meth:`close` (or use the engine as a context
         manager); non-persistent engines keep the old per-run lifecycle.
+    shipping:
+        How the compiled graph reaches process workers: ``shm``
+        (zero-copy shared-memory segments, O(1) attach per worker),
+        ``pickle`` (serialised through the pool initializer), or
+        ``auto`` (shm wherever it actually pays, pickle otherwise; see
+        :data:`SHIPPING_MODES`).  Never part of the result's identity —
+        covers are byte-identical across shipping modes.
     """
 
     def __init__(
@@ -100,14 +124,23 @@ class ExecutionEngine:
         batch_size: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
         persistent: bool = False,
+        shipping: str = "auto",
     ) -> None:
+        if shipping not in SHIPPING_MODES:
+            raise ConfigurationError(
+                f"unknown shipping mode {shipping!r}; expected one of "
+                + ", ".join(SHIPPING_MODES)
+            )
         self.backend = backend
         self.workers = workers
         self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
         self.progress = progress
         self.persistent = persistent
+        self.shipping = shipping
         self._pool = None
         self._pool_context: Optional[WorkerContext] = None
+        self._pool_shipping = "inline"
+        self._segments: Optional[SharedGraphSegments] = None
         self._close_hooks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
@@ -146,14 +179,59 @@ class ExecutionEngine:
         """
         self._close_hooks.append(hook)
 
+    def _resolve_shipping(self, backend_name: str, compiled) -> str:
+        """Decide how this run's context crosses the worker boundary.
+
+        Only a process backend with a compiled graph has anything to
+        ship zero-copy; everything else is ``inline`` (no boundary) or
+        ``pickle`` (dict graphs have no array segments to export).
+        """
+        if backend_name != "process":
+            return "inline"
+        if compiled is None:
+            if self.shipping == "shm":
+                raise ConfigurationError(
+                    "shipping='shm' requires the csr representation "
+                    "(the dict graph has no compiled arrays to export)"
+                )
+            return "pickle"
+        if self.shipping == "pickle":
+            return "pickle"
+        if self.shipping == "shm":
+            if not shm_available():
+                raise ConfigurationError(
+                    "shipping='shm' requested but shared memory is "
+                    "unavailable on this platform"
+                )
+            return "shm"
+        # auto: shm only where the context would otherwise be pickled —
+        # under fork the initargs are inherited copy-on-write for free.
+        if shm_available() and multiprocessing.get_start_method() != "fork":
+            return "shm"
+        return "pickle"
+
+    def _release_segments(self) -> None:
+        if self._segments is not None:
+            self._segments.close()
+            self._segments = None
+
     def close(self) -> None:
-        """Release the persistent worker pool, if one is open."""
+        """Release the persistent worker pool, if one is open.
+
+        Order matters: the pool shuts down first (joining its workers),
+        and only then are any shared-memory segments unlinked — so a
+        worker mid-attach can never find its segment gone.
+        """
         if self._pool is not None:
             self._pool.close()
             self._pool = None
             self._pool_context = None
+            self._pool_shipping = "inline"
+            self._release_segments()
             for hook in self._close_hooks:
                 hook()
+        else:
+            self._release_segments()
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -226,14 +304,27 @@ class ExecutionEngine:
                 rank={node: i for i, node in enumerate(graph.nodes())},
             )
         reused = False
+        segments: Optional[SharedGraphSegments] = None
         if self.persistent and self._context_compatible(self._pool_context, context):
             backend = self._pool
             # The pool's workers hold the previously shipped context; it
             # is value-equal to this run's, so results are identical.
             context = self._pool_context
+            shipping = self._pool_shipping
             reused = True
         else:
             self.close()  # drop an incompatible persistent pool, if any
+            effective_workers = self.workers or os.cpu_count() or 1
+            shipping = self._resolve_shipping(
+                resolve_backend_name(self.backend, effective_workers), compiled
+            )
+            if shipping == "shm":
+                # Export once; workers attach by name in O(1).  The
+                # driver-side context keeps the compiled object (it is
+                # never pickled locally), so pool-compatibility checks
+                # and in-driver reduction are unchanged.
+                segments = export_shared(compiled)
+                context = replace(context, shipped=segments.descriptor)
             backend = make_backend(
                 self.backend,
                 self.workers,
@@ -243,22 +334,46 @@ class ExecutionEngine:
             if self.persistent:
                 self._pool = backend
                 self._pool_context = context
+                self._pool_shipping = shipping
+                self._segments = segments
         stats = EngineStats(
             backend=resolve_backend_name(self.backend, backend.workers),
             workers=backend.workers,
             batch_size=self.batch_size,
             representation="csr" if compiled is not None else "dict",
+            shipping=shipping,
             pool_reused=reused,
         )
+        # Whole chunks of tasks run in one worker call: one dispatch
+        # (and, for processes, one pickle round-trip) amortised over
+        # ~batch/(2*workers) tasks.  Chunking is pure plumbing — results
+        # flatten back in task order, so covers cannot depend on it.
+        batched = getattr(backend, "map_ordered_batched", None)
+        calls = [0]  # worker calls made by the most recent run_batch
         if backend.uses_processes:
-            # Only the tiny task objects cross the pipe; the context was
-            # shipped once per worker through the initializer.
+            chunk_fn = execute_batch_in_worker
+        else:
+
+            def chunk_fn(chunk_tasks):
+                return [execute_growth_task(context, task) for task in chunk_tasks]
+
+        if batched is not None:
+
             def run_batch(tasks):
+                chunk = max(1, -(-len(tasks) // (max(1, backend.workers) * 2)))
+                calls[0] = -(-len(tasks) // chunk)
+                return batched(chunk_fn, tasks, chunk)
+
+        elif backend.uses_processes:
+            # Registered custom backends may predate the batched path.
+            def run_batch(tasks):
+                calls[0] = len(tasks)
                 return backend.map_ordered(execute_in_worker, tasks)
 
         else:
 
             def run_batch(tasks):
+                calls[0] = len(tasks)
                 return backend.map_ordered(
                     lambda task: execute_growth_task(context, task), tasks
                 )
@@ -294,6 +409,7 @@ class ExecutionEngine:
                     covered_fraction=reducer.stats.covered_fraction,
                     dispatch_seconds=dispatch_seconds,
                     reduce_seconds=reduce_seconds,
+                    worker_calls=calls[0],
                 )
                 stats.record_batch(record)
                 if self.progress is not None:
@@ -302,7 +418,9 @@ class ExecutionEngine:
                     break
         finally:
             if not self.persistent:
-                backend.close()
+                backend.close()  # joins workers before any unlink below
+                if segments is not None:
+                    segments.close()
 
         return EngineOutcome(
             found=reducer.found,

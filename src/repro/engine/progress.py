@@ -31,6 +31,9 @@ class BatchRecord:
     covered_fraction: float
     dispatch_seconds: float
     reduce_seconds: float
+    #: Executor calls the batch dispatched (``ceil(tasks / chunk)`` when
+    #: tasks are chunked into grouped worker calls; ``tasks`` otherwise).
+    worker_calls: int = 0
 
 
 #: Signature of the per-batch progress hook.
@@ -46,6 +49,14 @@ class EngineStats:
     backend / workers / batch_size / representation:
         The execution configuration actually used (after ``auto``
         resolution and defaulting).
+    shipping:
+        How the shared worker context crossed the process boundary:
+        ``shm`` (zero-copy shared-memory segments), ``pickle``
+        (serialised through the pool initializer), or ``inline`` (no
+        boundary — serial/thread backends share the driver's objects).
+    worker_calls:
+        Executor dispatches actually made; with chunked execution this
+        is the number of grouped worker calls, not the task count.
     pool_reused:
         Whether the run reused a persistent worker pool warmed by an
         earlier run (see ``ExecutionEngine(persistent=True)``) instead
@@ -67,8 +78,10 @@ class EngineStats:
     workers: int = 1
     batch_size: int = 1
     representation: str = "dict"
+    shipping: str = "inline"
     pool_reused: bool = False
     batches: int = 0
+    worker_calls: int = 0
     tasks_dispatched: int = 0
     tasks_folded: int = 0
     tasks_discarded: int = 0
@@ -80,6 +93,7 @@ class EngineStats:
         """Fold one batch record into the aggregate."""
         discarded = record.discarded_after_halt + record.discarded_stale
         self.batches += 1
+        self.worker_calls += record.worker_calls
         self.tasks_dispatched += record.tasks
         self.tasks_discarded += discarded
         self.tasks_folded += record.tasks - discarded
@@ -98,7 +112,7 @@ class EngineStats:
         """One-line human summary (used by the CLI and benchmarks)."""
         return (
             f"engine[{self.backend} x{self.workers}, batch={self.batch_size}, "
-            f"{self.representation}]: "
+            f"{self.representation}, ship={self.shipping}]: "
             f"{self.batches} batches, {self.tasks_dispatched} tasks "
             f"({self.tasks_discarded} discarded), "
             f"dispatch {self.dispatch_seconds:.3f}s, "

@@ -82,6 +82,7 @@ def run_algorithm(
     backend: str = "auto",
     batch_size: Optional[int] = None,
     representation: str = "auto",
+    shipping: str = "auto",
     spectral_solver: str = "power",
 ) -> AlgorithmRun:
     """Run one algorithm by figure label or registry key.
@@ -89,7 +90,8 @@ def run_algorithm(
     ``quality_mode=True`` (Figures 2/3) applies the shared post-processing
     — merge then orphan assignment — to whatever the algorithm returned.
     ``quality_mode=False`` (Figures 5/6) times the raw algorithm only.
-    ``workers``/``backend``/``batch_size``/``representation`` configure
+    ``workers``/``backend``/``batch_size``/``representation``/``shipping``
+    configure
     the execution engine for algorithms that support it (currently OCA;
     the baselines are inherently sequential and ignore them), and
     ``spectral_solver`` picks OCA's cold ``c`` resolution (power method
@@ -110,6 +112,7 @@ def run_algorithm(
             backend=backend,
             batch_size=batch_size,
             representation=representation,
+            shipping=shipping,
         )
     )
     cover = result.cover

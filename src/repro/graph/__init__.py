@@ -7,6 +7,13 @@ else in :mod:`repro` builds on :class:`Graph`.
 
 from .graph import Graph, Node, Edge
 from .csr import GraphBackend, CompiledGraph, compile_graph, attach_compiled
+from .shm import (
+    ShmGraphDescriptor,
+    SharedGraphSegments,
+    attach_shared,
+    export_shared,
+    shm_available,
+)
 from .builder import GraphBuilder, BuildReport
 from .subgraph import (
     induced_subgraph,
@@ -59,6 +66,11 @@ __all__ = [
     "CompiledGraph",
     "compile_graph",
     "attach_compiled",
+    "ShmGraphDescriptor",
+    "SharedGraphSegments",
+    "attach_shared",
+    "export_shared",
+    "shm_available",
     "GraphBuilder",
     "BuildReport",
     "induced_subgraph",

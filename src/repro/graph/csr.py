@@ -114,6 +114,7 @@ class CompiledGraph:
         "spectral_cache",
         "_identity",
         "_fingerprint",
+        "_retained",
     )
 
     def __init__(
@@ -138,6 +139,34 @@ class CompiledGraph:
         # Content-hash cache for the serving layer (see
         # repro.serving.fingerprint); None until first requested.
         self._fingerprint: Optional[str] = None
+        # When the arrays alias shared-memory buffers (repro.graph.shm),
+        # the mapping handles ride here so the pages outlive the export.
+        self._retained: tuple = ()
+
+    @classmethod
+    def from_shared(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        degrees: np.ndarray,
+        labels: Optional[List[Node]],
+        spectral: Optional[Dict[tuple, float]] = None,
+        retained: tuple = (),
+    ) -> "CompiledGraph":
+        """Wrap already-mapped (shared-memory) buffers zero-copy.
+
+        ``retained`` keeps the underlying mapping handles alive for the
+        graph's lifetime; ``spectral`` seeds the spectral cache so the
+        attaching worker skips the power-method solve, exactly like the
+        pickle path ships it.
+        """
+        compiled = cls(
+            indptr=indptr, indices=indices, degrees=degrees, labels=labels
+        )
+        if spectral:
+            compiled.spectral_cache.update(spectral)
+        compiled._retained = retained
+        return compiled
 
     # ------------------------------------------------------------------
     # Graph protocol (integer-id keyed)
@@ -256,6 +285,9 @@ class CompiledGraph:
                 degrees=self.degrees,
                 labels=None,
             )
+            # The view aliases the same buffers, so it must keep any
+            # shared-memory mappings alive just like its parent does.
+            self._identity._retained = self._retained
         return self._identity
 
     # ------------------------------------------------------------------
@@ -295,6 +327,9 @@ class CompiledGraph:
         self._num_edges = len(self.indices) // 2
         self._identity = None
         self._fingerprint = None
+        # Pickling materialises the buffers, so an unpickled copy owns
+        # plain arrays and retains no shared-memory mappings.
+        self._retained = ()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CompiledGraph):

@@ -176,9 +176,10 @@ class SessionManager:
         :meth:`GraphSession.memory_bytes` of resident sessions.  While
         over budget, LRU sessions are evicted — but never the last one,
         which is needed to serve the request that is binding it.
-    workers / backend / batch_size / representation:
+    workers / backend / batch_size / representation / shipping:
         Forwarded to every :class:`~repro.detectors.GraphSession` the
-        manager binds.
+        manager binds (``shipping`` picks how compiled graphs reach
+        process workers: ``auto`` / ``shm`` / ``pickle``).
     registry:
         The :class:`~repro.observability.MetricsRegistry` the manager
         (and every session it binds) publishes into; ``None`` creates a
@@ -195,6 +196,7 @@ class SessionManager:
         backend: str = "auto",
         batch_size: Optional[int] = None,
         representation: str = "auto",
+        shipping: str = "auto",
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_sessions < 1:
@@ -213,6 +215,7 @@ class SessionManager:
             "backend": backend,
             "batch_size": batch_size,
             "representation": representation,
+            "shipping": shipping,
             "registry": self.registry,
         }
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()

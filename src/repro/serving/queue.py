@@ -21,12 +21,21 @@ classic bounded request queue in front of the manager:
   nobody is waiting for;
 * :meth:`ServingQueue.close` drains gracefully by default — accepted
   work completes, its futures resolve — or cancels pending requests
-  with ``drain=False``.
+  with ``drain=False``;
+* a dequeuing worker *coalesces*: it opportunistically drains further
+  queued requests for the **same graph fingerprint** (bounded by the
+  ``coalesce`` limit) and serves the whole group back-to-back on that
+  graph's warm session.  Same-fingerprint requests would serialize on
+  the session anyway — grouping them on one worker costs no
+  parallelism, keeps the session hot and MRU for the entire group, and
+  frees the other workers for other graphs.  Every member keeps its own
+  future, deadline check, and trace; the group only shares the session
+  locality (and a ``coalesce_batch`` trace mark).
 
 Determinism is inherited, not re-proven: each request is served by a
 plain ``manager.detect`` call, so the cover for (graph, algorithm,
 seed, params) is byte-identical to a direct synchronous call no matter
-how many queue workers race.
+how many queue workers race or how requests are coalesced.
 """
 
 from __future__ import annotations
@@ -56,6 +65,9 @@ __all__ = [
 
 #: Worker-loop shutdown marker.
 _SENTINEL = None
+
+#: Carry-slot marker: "no dequeued item is waiting to be processed".
+_EMPTY = object()
 
 
 def validate_deadline_seconds(
@@ -170,6 +182,16 @@ class _QueueMetrics:
             "repro_queue_wait_seconds",
             "Time from queue admission to worker dispatch",
         )
+        self.coalesced = registry.counter(
+            "repro_queue_coalesced_total",
+            "Queued requests served piggybacked on a same-fingerprint "
+            "group leader (group size minus one, summed)",
+        )
+        self.coalesce_batch = registry.histogram(
+            "repro_queue_coalesce_batch",
+            "Requests served per same-fingerprint dispatch group",
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+        )
 
 
 class QueueStats:
@@ -236,6 +258,11 @@ class QueueStats:
         return self.expired_admission + self.expired_queue
 
     @property
+    def coalesced(self) -> int:
+        """Requests served piggybacked on a same-fingerprint leader."""
+        return int(self._metrics.coalesced.value)
+
+    @property
     def peak_depth(self) -> int:
         return int(self._metrics.peak_depth.value)
 
@@ -246,6 +273,7 @@ class QueueStats:
             f"cancelled={self.cancelled}, rejected={self.rejected}, "
             f"rejected_closed={self.rejected_closed}, "
             f"expired={self.expired_admission}+{self.expired_queue}, "
+            f"coalesced={self.coalesced}, "
             f"peak_depth={self.peak_depth})"
         )
 
@@ -265,6 +293,13 @@ class ServingQueue:
     max_depth:
         Queued-but-undispatched request bound; submissions beyond it
         raise :class:`~repro.errors.QueueFull`.
+    coalesce:
+        Maximum requests served per same-fingerprint dispatch group
+        (the leader plus drained piggybackers).  1 disables coalescing;
+        the default 8 bounds how long a different-fingerprint request
+        can sit behind one worker's group.  Purely a scheduling knob —
+        every member's cover, deadline, and trace are those of an
+        uncoalesced serve.
     registry:
         The :class:`~repro.observability.MetricsRegistry` the queue
         publishes into (admission counters, the depth gauge, the wait
@@ -278,15 +313,19 @@ class ServingQueue:
         manager: Any,
         workers: int = 2,
         max_depth: int = 64,
+        coalesce: int = 8,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if max_depth < 1:
             raise ConfigurationError(f"max_depth must be >= 1, got {max_depth}")
+        if coalesce < 1:
+            raise ConfigurationError(f"coalesce must be >= 1, got {coalesce}")
         self.manager = manager
         self.workers = workers
         self.max_depth = max_depth
+        self.coalesce = coalesce
         self.registry = registry if registry is not None else MetricsRegistry()
         self._queue: "_queue.Queue" = _queue.Queue(maxsize=max_depth)
         self._lock = threading.Lock()
@@ -447,57 +486,118 @@ class ServingQueue:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _fingerprint_of(item) -> Optional[str]:
+        """The coalescing key of a queued item, or None to never group.
+
+        Fingerprint strings key themselves; graphs hash through
+        :func:`~repro.serving.fingerprint.graph_fingerprint` (content-
+        cached on the compiled form, so the warm path is a dict read).
+        Anything unfingerprintable simply never coalesces.
+        """
+        graph = item[0].graph
+        if isinstance(graph, str):
+            return graph
+        try:
+            from .fingerprint import graph_fingerprint
+
+            return graph_fingerprint(graph)
+        except Exception:
+            return None
+
     def _worker_loop(self) -> None:
+        # The carry slot holds one already-dequeued item that broke a
+        # coalescing run (different fingerprint, or the sentinel); it is
+        # processed first on the next iteration, before blocking on the
+        # queue again.  Every get() is paired with exactly one
+        # task_done() — fired when the item is actually served (or, for
+        # a carried item, on the iteration that consumes it).
+        carry = _EMPTY
         while True:
-            item = self._queue.get()
-            # A dequeue is a space event: wake one blocked submitter.
-            with self._space:
-                self._space.notify()
+            if carry is not _EMPTY:
+                item, carry = carry, _EMPTY
+            else:
+                item = self._queue.get()
+                # A dequeue is a space event: wake one blocked submitter.
+                with self._space:
+                    self._space.notify()
             if item is _SENTINEL:
                 self._queue.task_done()
                 return
-            request, future, enqueued_at = item
+            group = [item]
+            if self.coalesce > 1:
+                key = self._fingerprint_of(item)
+                while key is not None and len(group) < self.coalesce:
+                    try:
+                        extra = self._queue.get_nowait()
+                    except _queue.Empty:
+                        break
+                    with self._space:
+                        self._space.notify()
+                    if extra is _SENTINEL or self._fingerprint_of(extra) != key:
+                        carry = extra
+                        break
+                    group.append(extra)
+            if len(group) > 1:
+                self._metrics.coalesced.inc(len(group) - 1)
+            self._metrics.coalesce_batch.observe(len(group))
+            for member in group:
+                self._serve_one(member, len(group))
+
+    def _serve_one(self, item, group_size: int) -> None:
+        """Dispatch one dequeued request and resolve its future.
+
+        Identical semantics whether the request leads a coalesced group,
+        rides in one, or stands alone: its own queue-wait span (measured
+        at *its* dispatch, so time spent behind group-mates counts), its
+        own deadline check, its own future resolution.
+        """
+        request, future, enqueued_at = item
+        try:
+            if not future.set_running_or_notify_cancel():
+                self._metrics.cancelled.inc()
+                return
+            wait_seconds = time.perf_counter() - enqueued_at
+            self._metrics.wait_seconds.observe(wait_seconds)
+            if request.trace is not None:
+                request.trace.record("queue_wait", wait_seconds)
+                if group_size > 1:
+                    request.trace.mark("coalesce_batch", group_size)
+            deadline = request.deadline_seconds
+            if deadline is not None and wait_seconds > deadline:
+                # Shed, don't serve: nobody is waiting for this
+                # result any more, so the detect must not run.
+                # Counted before resolving, like completed/failed.
+                self._metrics.expired_queue.inc()
+                future.set_exception(
+                    DeadlineExceeded(
+                        f"deadline of {deadline}s exceeded after "
+                        f"{wait_seconds:.3f}s in the queue",
+                        deadline_seconds=deadline,
+                        waited_seconds=wait_seconds,
+                    )
+                )
+                return
             try:
-                if not future.set_running_or_notify_cancel():
-                    self._metrics.cancelled.inc()
-                    continue
-                wait_seconds = time.perf_counter() - enqueued_at
-                self._metrics.wait_seconds.observe(wait_seconds)
-                if request.trace is not None:
-                    request.trace.record("queue_wait", wait_seconds)
-                deadline = request.deadline_seconds
-                if deadline is not None and wait_seconds > deadline:
-                    # Shed, don't serve: nobody is waiting for this
-                    # result any more, so the detect must not run.
-                    # Counted before resolving, like completed/failed.
-                    self._metrics.expired_queue.inc()
-                    future.set_exception(
-                        DeadlineExceeded(
-                            f"deadline of {deadline}s exceeded after "
-                            f"{wait_seconds:.3f}s in the queue",
-                            deadline_seconds=deadline,
-                            waited_seconds=wait_seconds,
-                        )
-                    )
-                    continue
-                try:
-                    result = self.manager.detect(
-                        request.graph,
-                        request.algorithm,
-                        seed=request.seed,
-                        **request.params,
-                    )
-                except Exception as error:
-                    # Count before resolving: once a waiter can see the
-                    # outcome, a concurrent /metrics scrape must too.
-                    self._metrics.failed.inc()
-                    future.set_exception(error)
-                else:
-                    result.stats["queue_wait_seconds"] = wait_seconds
-                    self._metrics.completed.inc()
-                    future.set_result(result)
-            finally:
-                self._queue.task_done()
+                result = self.manager.detect(
+                    request.graph,
+                    request.algorithm,
+                    seed=request.seed,
+                    **request.params,
+                )
+            except Exception as error:
+                # Count before resolving: once a waiter can see the
+                # outcome, a concurrent /metrics scrape must too.
+                self._metrics.failed.inc()
+                future.set_exception(error)
+            else:
+                result.stats["queue_wait_seconds"] = wait_seconds
+                if group_size > 1:
+                    result.stats["coalesce_batch"] = group_size
+                self._metrics.completed.inc()
+                future.set_result(result)
+        finally:
+            self._queue.task_done()
 
     # ------------------------------------------------------------------
     def drain(self) -> None:

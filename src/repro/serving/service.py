@@ -133,10 +133,12 @@ class ServingService:
         from, or ``None`` to own a fresh one built from the remaining
         keyword arguments.
     max_sessions / max_memory_bytes / workers / backend / batch_size /
-    representation:
+    representation / shipping:
         Manager construction knobs (ignored when ``manager`` is given).
-    queue_workers / max_depth:
-        :class:`~repro.serving.ServingQueue` sizing.
+    queue_workers / max_depth / coalesce:
+        :class:`~repro.serving.ServingQueue` sizing — ``coalesce``
+        bounds how many queued same-fingerprint requests one worker
+        serves per dispatch group (1 disables coalescing).
     submit_timeout_seconds:
         How long a streamed request may wait for queue space before its
         response becomes ``ok: false`` (``None``: wait indefinitely —
@@ -156,10 +158,12 @@ class ServingService:
         max_memory_bytes: Optional[int] = None,
         queue_workers: int = 2,
         max_depth: int = 64,
+        coalesce: int = 8,
         workers: int = 1,
         backend: str = "auto",
         batch_size: Optional[int] = None,
         representation: str = "auto",
+        shipping: str = "auto",
         submit_timeout_seconds: Optional[float] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -182,12 +186,14 @@ class ServingService:
             backend=backend,
             batch_size=batch_size,
             representation=representation,
+            shipping=shipping,
             registry=registry,
         )
         self.queue = ServingQueue(
             self.manager,
             workers=queue_workers,
             max_depth=max_depth,
+            coalesce=coalesce,
             registry=registry,
         )
         self._metrics = _ServiceMetrics(registry)
@@ -401,7 +407,12 @@ class ServingService:
             "queue_depth": pending.depth_at_submit,
             "stats": {
                 key: stats[key]
-                for key in ("c_source", "engine_pool", "queue_wait_seconds")
+                for key in (
+                    "c_source",
+                    "engine_pool",
+                    "queue_wait_seconds",
+                    "coalesce_batch",
+                )
                 if key in stats
             },
         }

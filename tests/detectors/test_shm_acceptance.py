@@ -1,0 +1,125 @@
+"""Acceptance matrix: covers are shipping-invariant (ISSUE 7).
+
+The zero-copy contract: for every registered detector, on integer- and
+string-labelled graphs, the cover for a given (graph, seed, batch_size)
+is **byte-identical** whether the compiled graph reaches process
+workers by pickle or by shared memory — across batch sizes {1, 8, 64}.
+Shipping (like ``workers`` and ``backend``) only changes wall-clock,
+never results.
+
+The baselines ignore the engine knobs entirely, so their rows are
+trivially invariant — pinned anyway, because the matrix is the
+regression net for "a detector grew an accidental shipping
+dependency".
+"""
+
+import os
+
+import pytest
+
+from repro import DetectionRequest, Graph, get_detector
+from repro.generators import ring_of_cliques
+from repro.graph.shm import SEGMENT_PREFIX, live_segment_names, shm_available
+
+DETECTORS = ("oca", "lfk", "cfinder", "cpm")
+BATCH_SIZES = (1, 8, 64)
+SEED = 29
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shared memory unavailable on this platform"
+)
+
+
+def _dev_shm_entries():
+    try:
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(SEGMENT_PREFIX)
+        }
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+@pytest.fixture(scope="module")
+def int_graph():
+    g, _ = ring_of_cliques(4, 5)
+    return g
+
+
+@pytest.fixture(scope="module")
+def str_graph(int_graph):
+    mapping = {node: f"n{node}" for node in int_graph.nodes()}
+    g = Graph(nodes=(mapping[node] for node in int_graph.nodes()))
+    for u, v in int_graph.edges():
+        g.add_edge(mapping[u], mapping[v])
+    return g
+
+
+def _detect(name, graph, shipping, batch_size):
+    request = DetectionRequest(
+        graph=graph,
+        seed=SEED,
+        workers=2,
+        backend="process",
+        batch_size=batch_size,
+        shipping=shipping,
+    )
+    return get_detector(name).detect(request).cover
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("labels", ["int", "str"])
+@pytest.mark.parametrize("name", DETECTORS)
+def test_cover_is_shipping_invariant(
+    name, labels, batch_size, int_graph, str_graph, request
+):
+    graph = int_graph if labels == "int" else str_graph
+    pickled = _detect(name, graph, "pickle", batch_size)
+    shipped = _detect(name, graph, "shm", batch_size)
+    assert shipped == pickled
+    # Every ephemeral engine must have unlinked its export on the way out.
+    assert not live_segment_names()
+
+
+def test_no_dev_shm_leak_across_the_matrix():
+    """Runs after the matrix (file order): nothing left in /dev/shm."""
+    assert not _dev_shm_entries()
+
+
+class TestSessionLifecycle:
+    """Session/manager teardown owns the segments (ISSUE 7 tentpole)."""
+
+    def test_session_close_unlinks_segments(self, int_graph):
+        from repro import GraphSession
+
+        before = _dev_shm_entries()
+        session = GraphSession(
+            int_graph.copy(), workers=2, backend="process",
+            batch_size=4, shipping="shm",
+        )
+        try:
+            session.detect("oca", seed=SEED)
+            # The persistent pool's export is live while the session is.
+            assert _dev_shm_entries() - before
+        finally:
+            session.close()
+        assert _dev_shm_entries() == before
+        assert not live_segment_names()
+
+    def test_eviction_unlinks_the_victims_segments(self, int_graph):
+        from repro import SessionManager
+
+        other, _ = ring_of_cliques(5, 4)
+        before = _dev_shm_entries()
+        with SessionManager(
+            max_sessions=1, workers=2, backend="process",
+            batch_size=4, shipping="shm",
+        ) as manager:
+            manager.detect(int_graph, "oca", seed=SEED)
+            # Binding a second graph evicts the first; the victim's
+            # engine is closed (workers joined) and its export unlinked.
+            manager.detect(other, "oca", seed=SEED)
+            assert manager.stats.evictions == 1
+        assert _dev_shm_entries() == before
+        assert not live_segment_names()

@@ -68,6 +68,18 @@ def test_detect_representations_emit_identical_covers(graph_file, capsys):
     assert outputs["dict"] == outputs["csr"]
 
 
+def test_detect_shipping_modes_emit_identical_covers(graph_file, capsys):
+    outputs = {}
+    for shipping in ("pickle", "shm"):
+        assert main(
+            ["detect", str(graph_file), "--seed", "0",
+             "--workers", "2", "--backend", "process",
+             "--shipping", shipping]
+        ) == 0
+        outputs[shipping] = capsys.readouterr().out
+    assert outputs["pickle"] == outputs["shm"]
+
+
 def test_info(graph_file, capsys):
     assert main(["info", str(graph_file)]) == 0
     out = capsys.readouterr().out
