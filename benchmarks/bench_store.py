@@ -1,0 +1,284 @@
+"""Store-backed cold start vs full compile + spectral solve (ISSUE 8).
+
+The persistence layer exists so a restarted process skips the two big
+per-graph constants — the CSR compile and the spectral ``c`` solve —
+by mmap-loading the compiled artifacts from a :class:`repro.GraphStore`
+instead.  This bench measures exactly that trade, on the same LFR
+family and seeds as ``bench_csr.py`` / ``bench_session.py``:
+
+* ``compile_spectral_seconds`` — compile a fresh graph and run the
+  power-method solve, the work a store hit removes;
+* ``store_load_seconds`` — ``GraphStore.load``: mmap the arrays and
+  verify every checksum (the full never-serve-a-wrong-graph read path);
+* restart-to-first-response — a fresh ``SessionManager`` serving its
+  first request with a pre-warmed store versus without one (the
+  ``serve --store-dir`` restart experience).
+
+It also pins the contract: the cover served from the store-loaded
+graph is byte-identical to the freshly compiled one.
+
+Also runnable standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py              # full sweep
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke      # CI-sized
+
+The full sweep (n in {2000, 6000, 20000}) writes machine-readable
+results to ``BENCH_store.json`` at the repository root — the same
+record format as the other BENCH files; ``--smoke`` runs one small
+size and writes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro import GraphSession, GraphStore, SessionManager, StoreWarmer
+from repro.core.vector_space import shared_admissible_c
+from repro.generators import LFRParams, lfr_graph
+from repro.graph import compile_graph
+from repro.serving import graph_fingerprint
+
+#: Same sizes as bench_csr / bench_session (the benchmark trajectory).
+FULL_SIZES = (2000, 6000, 20000)
+SMOKE_SIZES = (300,)
+
+#: Loads per size; the minimum is reported (mmap + checksum verify).
+LOAD_REPEATS = 3
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_graph(n: int, seed: int):
+    """The bench_csr LFR family: dense communities, heavy tasks."""
+    params = LFRParams(
+        n=n,
+        mu=0.3,
+        average_degree=min(40.0, max(8.0, n / 25)),
+        max_degree=min(100, max(20, n // 10)),
+        min_community=min(60, max(10, n // 20)),
+        max_community=min(120, max(20, n // 10)),
+    )
+    return lfr_graph(params, seed=seed).graph
+
+
+@dataclass
+class SizeResult:
+    """Every measurement for one graph size."""
+
+    n: int
+    m: int
+    compile_spectral_seconds: float
+    store_load_seconds: float
+    load_speedup: float
+    restart_with_store_seconds: float
+    restart_without_store_seconds: float
+    restart_speedup: float
+    store_entry_bytes: int
+    covers_match: bool
+
+
+def measure_size(n: int, seed: int, store_root, echo=print) -> SizeResult:
+    """Run the store-vs-compile comparison for one graph size."""
+    graph = build_graph(n, seed)
+    m = graph.number_of_edges()
+    echo(f"-- LFR n={graph.number_of_nodes()}, m={m}")
+
+    # The work a store hit removes: CSR compile + power-method solve on
+    # a fresh graph object (nothing cached).
+    fresh = build_graph(n, seed)
+    start = time.perf_counter()
+    compiled = compile_graph(fresh)
+    shared_admissible_c(compiled)
+    compile_spectral_seconds = time.perf_counter() - start
+    fingerprint = graph_fingerprint(compiled)
+
+    store = GraphStore(store_root)
+    assert store.save(compiled, fingerprint=fingerprint)
+    entry_bytes = store.entry_bytes(fingerprint) or 0
+
+    load_times: List[float] = []
+    loaded = None
+    for _ in range(LOAD_REPEATS):
+        start = time.perf_counter()
+        loaded = store.load(fingerprint)
+        load_times.append(time.perf_counter() - start)
+        assert loaded is not None
+    store_load_seconds = min(load_times)
+    load_speedup = (
+        compile_spectral_seconds / store_load_seconds
+        if store_load_seconds
+        else float("inf")
+    )
+
+    # Contract: the store-loaded graph serves the same cover as the
+    # freshly compiled one.
+    with GraphSession(compiled) as session:
+        reference = session.detect("oca", seed=1)
+    with GraphSession(loaded) as session:
+        served = session.detect("oca", seed=1)
+    covers_match = served.cover == reference.cover
+
+    # Restart-to-first-response: a fresh manager with a pre-warmed
+    # store vs a fresh manager compiling from the raw graph.
+    restart_store = GraphStore(store_root)
+    start = time.perf_counter()
+    with SessionManager(max_sessions=1, store=restart_store) as manager:
+        warmed = StoreWarmer(restart_store, manager).warm()
+        assert fingerprint in warmed
+        with_store = manager.detect(fingerprint, "oca", seed=1)
+    restart_with_store_seconds = time.perf_counter() - start
+    assert with_store.stats["session_source"] == "store"
+
+    cold_graph = build_graph(n, seed)
+    start = time.perf_counter()
+    with SessionManager(max_sessions=1) as manager:
+        without_store = manager.detect(cold_graph, "oca", seed=1)
+    restart_without_store_seconds = time.perf_counter() - start
+    assert without_store.stats["session_source"] == "compiled"
+    covers_match = covers_match and with_store.cover == without_store.cover
+
+    restart_speedup = (
+        restart_without_store_seconds / restart_with_store_seconds
+        if restart_with_store_seconds
+        else float("inf")
+    )
+
+    echo(
+        f"   compile+spectral {compile_spectral_seconds:.3f}s | "
+        f"store load {store_load_seconds:.3f}s "
+        f"(min of {LOAD_REPEATS}) | speedup x{load_speedup:.1f} | "
+        f"restart first-response {restart_without_store_seconds:.3f}s -> "
+        f"{restart_with_store_seconds:.3f}s with store "
+        f"(x{restart_speedup:.1f}) | entry {entry_bytes}B | "
+        f"covers match: {covers_match}"
+    )
+    if not covers_match:
+        raise AssertionError(
+            f"persistence contract violated at n={n}: store-loaded cover "
+            "differs from the freshly compiled cover"
+        )
+    return SizeResult(
+        n=graph.number_of_nodes(),
+        m=m,
+        compile_spectral_seconds=compile_spectral_seconds,
+        store_load_seconds=store_load_seconds,
+        load_speedup=load_speedup,
+        restart_with_store_seconds=restart_with_store_seconds,
+        restart_without_store_seconds=restart_without_store_seconds,
+        restart_speedup=restart_speedup,
+        store_entry_bytes=entry_bytes,
+        covers_match=covers_match,
+    )
+
+
+def run_bench(sizes=FULL_SIZES, seed: int = 2, echo=print) -> List[SizeResult]:
+    """Measure every size; returns the per-size results."""
+    echo(
+        f"store-vs-compile bench: sizes {list(sizes)}, "
+        f"{_available_cpus()} CPU(s)"
+    )
+    results = []
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        for n in sizes:
+            results.append(
+                measure_size(
+                    n, seed=seed, store_root=Path(root) / str(n), echo=echo
+                )
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return results
+
+
+def write_json(results: List[SizeResult], path: Path = _JSON_PATH) -> None:
+    """Emit the machine-readable benchmark record (BENCH_csr.json format)."""
+    payload = {
+        "benchmark": "bench_store",
+        "description": (
+            "GraphStore warm-start persistence: mmap + checksum-verified "
+            "load vs CSR compile + spectral solve, and restart-to-first-"
+            "response with vs without a pre-warmed store; covers "
+            "byte-identical either way"
+        ),
+        "family": "lfr",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": _available_cpus(),
+        "unix_time": int(time.time()),
+        "results": [asdict(result) for result in results],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark wrapper
+# ----------------------------------------------------------------------
+def test_store_load_beats_compile_and_solve(benchmark):
+    from conftest import run_once
+
+    lines: List[str] = []
+    results = run_once(benchmark, run_bench, sizes=(6000,), echo=lines.append)
+    print()
+    for line in lines:
+        print(line)
+    assert results[0].covers_match
+    assert results[0].load_speedup >= 2.0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small size, no JSON output (CI smoke check)",
+    )
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="override the size sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.sizes:
+        sizes = tuple(args.sizes)
+    else:
+        sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    results = run_bench(sizes=sizes, seed=args.seed)
+    if not args.smoke:
+        write_json(results)
+        print(f"wrote {_JSON_PATH}")
+    slow = [r for r in results if r.n >= 20000 and r.load_speedup < 5.0]
+    if slow:
+        print(
+            "WARNING: store-load speedup below 5x at "
+            + ", ".join(f"n={r.n} (x{r.load_speedup:.2f})" for r in slow),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

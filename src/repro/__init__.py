@@ -27,6 +27,12 @@ The package implements:
   front-end — batch (stdin/files) or TCP
   (:class:`~repro.serving.ServingServer`, ``--listen HOST:PORT``, with
   round-robin per-client fairness);
+* **warm-start persistence** (:mod:`repro.store`):
+  :class:`~repro.store.GraphStore` saves compiled graphs (CSR arrays,
+  labels, spectral cache) to disk keyed by fingerprint — atomically
+  written, checksum-verified, mmap-loaded — and
+  :class:`~repro.store.StoreWarmer` pre-warms a restarted server's
+  most-recently-used graphs (``repro-oca serve --store-dir``);
 * the **benchmarks** of its evaluation — the LFR generator, the daisy /
   daisy-tree overlapping benchmark, and a Wikipedia-scale synthetic graph
   (:mod:`repro.generators`);
@@ -106,8 +112,9 @@ from .serving import (
     SessionManager,
     graph_fingerprint,
 )
+from .store import GraphStore, StoreStats, StoreWarmer
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -149,6 +156,9 @@ __all__ = [
     "ServeRequest",
     "ServingServer",
     "ServingService",
+    "GraphStore",
+    "StoreStats",
+    "StoreWarmer",
     "OCA",
     "OCAConfig",
     "OCAResult",

@@ -282,6 +282,37 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "warm-start persistence: directory where compiled graphs "
+            "(CSR arrays, labels, spectral cache) are saved keyed by "
+            "fingerprint and loaded back — mmap'd, checksum-verified — "
+            "instead of recompiling; a restarted server pre-warms its "
+            "most-recently-used graphs from here"
+        ),
+    )
+    serve.add_argument(
+        "--store-limit-bytes",
+        type=int,
+        default=None,
+        help=(
+            "size budget for --store-dir: after each save the store "
+            "prunes least-recently-used entries until it fits"
+        ),
+    )
+    serve.add_argument(
+        "--store-warm",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "pre-warm the N most-recently-used stored graphs at "
+            "startup (default: up to --max-sessions; 0 disables)"
+        ),
+    )
+    serve.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the end-of-batch summary line on stderr",
@@ -366,7 +397,7 @@ def _stats_line(service) -> str:
     """One stderr line of live serving stats (the --stats-interval tick)."""
     queue_stats = service.queue.stats
     manager_stats = service.manager.stats
-    return (
+    line = (
         f"stats: queue depth={service.queue.depth} "
         f"submitted={queue_stats.submitted} "
         f"completed={queue_stats.completed} failed={queue_stats.failed} "
@@ -380,6 +411,15 @@ def _stats_line(service) -> str:
         f"hit_rate={manager_stats.hit_rate:.2f} "
         f"memory={service.manager.memory_bytes()}B"
     )
+    store = getattr(service, "store", None)
+    if store is not None:
+        store_stats = store.stats
+        line += (
+            f" | store hits={store_stats.hits} "
+            f"misses={store_stats.misses} saves={store_stats.saves} "
+            f"bytes={store.total_bytes()}B"
+        )
+    return line
 
 
 def _command_serve_net(args: argparse.Namespace, max_memory_bytes) -> int:
@@ -404,6 +444,9 @@ def _command_serve_net(args: argparse.Namespace, max_memory_bytes) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
         shipping=args.shipping,
+        store_dir=args.store_dir,
+        store_limit_bytes=args.store_limit_bytes,
+        store_warm=args.store_warm,
     )
     servers = []
     if args.listen is not None:
@@ -500,6 +543,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             batch_size=args.batch_size,
             shipping=args.shipping,
+            store_dir=args.store_dir,
+            store_limit_bytes=args.store_limit_bytes,
+            store_warm=args.store_warm,
         )
 
     if args.requests is not None:
@@ -516,15 +562,20 @@ def _command_serve(args: argparse.Namespace) -> int:
         else:
             summary = run(sys.stdin, sys.stdout)
     if not args.quiet:
-        print(
+        line = (
             "served {requests} request(s): {ok} ok, {failed} failed | "
             "sessions {sessions_resident} resident, {session_hits} hits / "
             "{session_misses} misses / {evictions} evictions | "
             "latency mean {mean_latency_seconds:.3f}s max "
             "{max_latency_seconds:.3f}s | peak queue depth "
-            "{peak_queue_depth} | {wall_seconds:.3f}s wall".format(**summary),
-            file=sys.stderr,
+            "{peak_queue_depth} | {wall_seconds:.3f}s wall".format(**summary)
         )
+        if "store_hits" in summary:
+            line += (
+                " | store {store_hits} hits / {store_misses} misses / "
+                "{store_saves} saves, {store_bytes}B".format(**summary)
+            )
+        print(line, file=sys.stderr)
     return 0 if summary["failed"] == 0 else 1
 
 

@@ -28,8 +28,12 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..store import GraphStore
 
 from .._rng import SeedLike
 from ..detection import DetectionResult
@@ -67,6 +71,10 @@ class _ManagerMetrics:
         )
         self.detect_calls = registry.counter(
             "repro_manager_detect_total", "Requests served by the manager"
+        )
+        self.prewarmed = registry.counter(
+            "repro_manager_prewarmed_total",
+            "Sessions bound from the store by warm() before any request",
         )
         self.detect_seconds = registry.counter(
             "repro_manager_detect_seconds_total",
@@ -130,6 +138,10 @@ class ManagerStats:
         return int(self._metrics.reopened.value)
 
     @property
+    def prewarmed(self) -> int:
+        return int(self._metrics.prewarmed.value)
+
+    @property
     def detect_calls(self) -> int:
         return int(self._metrics.detect_calls.value)
 
@@ -152,14 +164,28 @@ class ManagerStats:
 
 
 class _Entry:
-    """One LRU slot: a session plus the lock serializing work on it."""
+    """One LRU slot: a session plus the lock serializing work on it.
 
-    __slots__ = ("fingerprint", "session", "lock")
+    ``source`` records how the session came to be resident (``store``:
+    loaded from the persistence layer; ``compiled``: built from the
+    request's graph); the first request an entry serves reports that
+    source as its ``session_source`` and every later one reports
+    ``warm`` (``served`` flips after the first).  ``pending_save``
+    marks freshly compiled entries whose artifacts still owe the store
+    a write — consumed by the first successful detect.
+    """
 
-    def __init__(self, fingerprint: str, session: GraphSession) -> None:
+    __slots__ = ("fingerprint", "session", "lock", "source", "served", "pending_save")
+
+    def __init__(
+        self, fingerprint: str, session: GraphSession, source: str = "compiled"
+    ) -> None:
         self.fingerprint = fingerprint
         self.session = session
         self.lock = threading.Lock()
+        self.source = source
+        self.served = False
+        self.pending_save = False
 
 
 class SessionManager:
@@ -184,8 +210,21 @@ class SessionManager:
         The :class:`~repro.observability.MetricsRegistry` the manager
         (and every session it binds) publishes into; ``None`` creates a
         private one.
+    store:
+        An optional :class:`~repro.store.GraphStore`.  On a session
+        miss the manager consults it *before* compiling — a stored
+        entry binds a session over mmap'd arrays with the spectral
+        cache pre-populated — and after a freshly compiled entry's
+        first successful detect the compiled artifacts are saved back,
+        so the next process (or the next eviction-victim rebind)
+        starts warm.  Results carry ``stats["session_source"]``:
+        ``"warm"`` (resident session reused), ``"store"`` (this
+        request was served from persisted artifacts), or
+        ``"compiled"`` (full cold start).
 
-    The manager is a context manager; :meth:`close` evicts everything.
+    The manager is a context manager; :meth:`close` evicts everything
+    (the store, if any, persists — it is the part that outlives the
+    manager).
     """
 
     def __init__(
@@ -198,6 +237,7 @@ class SessionManager:
         representation: str = "auto",
         shipping: str = "auto",
         registry: Optional[MetricsRegistry] = None,
+        store: "Optional[GraphStore]" = None,
     ) -> None:
         if max_sessions < 1:
             raise ConfigurationError(
@@ -209,6 +249,7 @@ class SessionManager:
             )
         self.max_sessions = max_sessions
         self.max_memory_bytes = max_memory_bytes
+        self.store = store
         self.registry = registry if registry is not None else MetricsRegistry()
         self._session_kwargs: Dict[str, Any] = {
             "workers": workers,
@@ -275,13 +316,15 @@ class SessionManager:
 
         ``graph`` may be a :class:`~repro.graph.Graph`, a
         :class:`~repro.graph.CompiledGraph`, or a bare fingerprint
-        string — the latter only reaches sessions that are already warm
-        (there is no graph to bind on a miss) and raises
-        :class:`~repro.errors.ServingError` otherwise.
+        string — the latter reaches sessions that are already warm or,
+        when the manager has a store, binds one from persisted
+        artifacts; with neither available it raises
+        :class:`~repro.errors.ServingError`.
 
         The result is exactly what ``GraphSession.detect`` returns for
         the same arguments, with serving annotations added to its
-        ``stats``: ``session_fingerprint``, ``session_hit``, and
+        ``stats``: ``session_fingerprint``, ``session_hit``,
+        ``session_source`` (``warm`` / ``store`` / ``compiled``), and
         ``session_acquire_seconds`` (how long the bind-or-fetch took,
         including any wait behind a concurrent detect on the same
         session — the request trace's ``session_acquire`` span).
@@ -294,12 +337,18 @@ class SessionManager:
             # unserialised and _resolve's critical section stays at dict
             # lookups plus, on a miss, a cache-hit session bind.
             graph_fingerprint(graph)
+        # Like the fingerprint, the store round-trip (mmap + checksum)
+        # runs outside the manager lock; it returns None whenever the
+        # key is already resident, so the common warm path pays nothing.
+        stored = self._store_lookup(
+            graph if isinstance(graph, str) else graph_fingerprint(graph)
+        )
         while True:
             evicted: List[_Entry] = []
             with self._lock:
                 if self._closed:
                     raise ServingError("SessionManager is closed")
-                entry, hit = self._resolve(graph, evicted)
+                entry, hit = self._resolve(graph, evicted, stored)
             # Evicted pools are shut down outside the manager lock, and
             # only *after* this request has been served: an in-flight
             # detect on a victim holds the victim's entry lock for its
@@ -321,6 +370,10 @@ class SessionManager:
                         result = entry.session.detect(
                             algorithm, seed=seed, **params
                         )
+                        source = "warm" if entry.served else entry.source
+                        entry.served = True
+                        save_needed = entry.pending_save
+                        entry.pending_save = False
             finally:
                 self._close_entries(evicted)
             if lost_race:
@@ -336,17 +389,24 @@ class SessionManager:
                 else:
                     self._metrics.misses.inc(-1)
                 if isinstance(graph, str):
-                    raise ServingError(
-                        f"session {graph!r} was evicted while the "
-                        "request was in flight; re-send the graph"
-                    )
+                    # A bare fingerprint can still be rebound from the
+                    # store; without one there is nothing to rebind.
+                    stored = self._store_lookup(graph)
+                    if stored is None:
+                        raise ServingError(
+                            f"session {graph!r} was evicted while the "
+                            "request was in flight; re-send the graph"
+                        )
                 continue
             self._metrics.detect_calls.inc()
             self._metrics.detect_seconds.inc(result.elapsed_seconds)
             self._metrics.acquire_seconds.observe(acquire_seconds)
             result.stats["session_fingerprint"] = entry.fingerprint
             result.stats["session_hit"] = hit
+            result.stats["session_source"] = source
             result.stats["session_acquire_seconds"] = acquire_seconds
+            if save_needed:
+                self._store_save(entry)
             return result
 
     def session(self, graph: GraphOrFingerprint) -> GraphSession:
@@ -360,27 +420,112 @@ class SessionManager:
         """
         if not isinstance(graph, str):
             graph_fingerprint(graph)  # hash + compile outside the lock
+        stored = self._store_lookup(
+            graph if isinstance(graph, str) else graph_fingerprint(graph)
+        )
         evicted: List[_Entry] = []
         with self._lock:
             if self._closed:
                 raise ServingError("SessionManager is closed")
-            entry, _ = self._resolve(graph, evicted)
+            entry, _ = self._resolve(graph, evicted, stored)
         self._close_entries(evicted)
         return entry.session
+
+    def warm(self, fingerprint: str) -> bool:
+        """Bind a session from the store before any request arrives.
+
+        Returns ``True`` if the fingerprint is resident afterwards
+        (freshly bound, or already warm — either way its LRU slot is
+        refreshed) and ``False`` if the store has no loadable entry for
+        it.  Requires a manager constructed with ``store=``; this is
+        what :class:`~repro.store.StoreWarmer` calls per fingerprint.
+        """
+        if self.store is None:
+            raise ServingError(
+                "warm() needs a SessionManager constructed with a store "
+                "(SessionManager(store=...))"
+            )
+        with self._lock:
+            if self._closed:
+                raise ServingError("SessionManager is closed")
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+                return True
+        stored = self.store.load(fingerprint)
+        if stored is None:
+            return False
+        evicted: List[_Entry] = []
+        with self._lock:
+            if self._closed:
+                raise ServingError("SessionManager is closed")
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+            else:
+                self._bind(fingerprint, stored, source="store")
+                self._metrics.prewarmed.inc()
+                self._shed(evicted)
+        self._close_entries(evicted)
+        return True
+
+    # ------------------------------------------------------------------
+    # Store round-trips (manager lock NOT held — both ends are slow I/O)
+    # ------------------------------------------------------------------
+    def _store_lookup(self, key: str) -> Optional[Any]:
+        """Load a stored graph for a key unless it is already resident."""
+        if self.store is None:
+            return None
+        with self._lock:
+            if self._closed or key in self._entries:
+                return None
+        return self.store.load(key)
+
+    def _store_save(self, entry: _Entry) -> None:
+        """Persist a freshly served entry's artifacts; never raises.
+
+        The store is a cache — a failed save (disk full, permissions,
+        unpersistable labels) must not fail the request that triggered
+        it, so everything is absorbed into a single warning.
+        """
+        if self.store is None:
+            return
+        try:
+            self.store.save(
+                entry.session.compiled, fingerprint=entry.fingerprint
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            warnings.warn(
+                f"graph store save failed for {entry.fingerprint!r}: "
+                f"{error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     # Internals (manager lock held)
     # ------------------------------------------------------------------
     def _resolve(
-        self, graph: GraphOrFingerprint, evicted: List[_Entry]
+        self,
+        graph: GraphOrFingerprint,
+        evicted: List[_Entry],
+        stored: Optional[Any] = None,
     ) -> Tuple[_Entry, bool]:
         if isinstance(graph, str):
             entry = self._entries.get(graph)
             if entry is None:
-                raise ServingError(
-                    f"no warm session for fingerprint {graph!r}; pass the "
-                    "graph itself to bind one"
-                )
+                if stored is None:
+                    extra = (
+                        " (and the store has no loadable entry)"
+                        if self.store is not None
+                        else ""
+                    )
+                    raise ServingError(
+                        f"no warm session for fingerprint {graph!r}{extra}; "
+                        "pass the graph itself to bind one"
+                    )
+                entry = self._bind(graph, stored, source="store")
+                self._metrics.misses.inc()
+                self._shed(evicted)
+                return entry, False
             self._revive(entry)
             self._entries.move_to_end(graph)
             self._metrics.hits.inc()
@@ -392,12 +537,26 @@ class SessionManager:
             self._entries.move_to_end(key)
             self._metrics.hits.inc()
             return entry, True
-        session = GraphSession(graph, **self._session_kwargs)
-        entry = _Entry(key, session)
-        self._entries[key] = entry
+        if stored is not None:
+            entry = self._bind(key, stored, source="store")
+        else:
+            entry = self._bind(key, graph, source="compiled")
         self._metrics.misses.inc()
         self._shed(evicted)
         return entry, False
+
+    def _bind(self, key: str, graph: Any, source: str) -> _Entry:
+        """Create and file a fresh entry (manager lock held).
+
+        A freshly *compiled* entry owes the store a save — paid after
+        its first successful detect, when the spectral cache is
+        populated too; a store-loaded entry already lives there.
+        """
+        session = GraphSession(graph, **self._session_kwargs)
+        entry = _Entry(key, session, source=source)
+        entry.pending_save = source == "compiled" and self.store is not None
+        self._entries[key] = entry
+        return entry
 
     def _revive(self, entry: _Entry) -> None:
         """Reopen a resident session that was closed out-of-band.

@@ -23,6 +23,7 @@ Response schema (same order as the requests)::
 
     {"id": "r1", "ok": true, "algorithm": "oca",
      "fingerprint": "…", "session_hit": true,
+     "session_source": "warm",   # warm | store | compiled
      "communities": [[1, 2, 3], …],
      "elapsed_seconds": …,    # the detect itself
      "latency_seconds": …,    # submit -> future resolved
@@ -49,7 +50,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from ..errors import QueueFull, ServingError
+from ..errors import ConfigurationError, QueueFull, ServingError
 from ..graph import Graph, read_edge_list
 from ..observability import MetricsRegistry, new_trace
 from .manager import SessionManager
@@ -143,6 +144,16 @@ class ServingService:
         How long a streamed request may wait for queue space before its
         response becomes ``ok: false`` (``None``: wait indefinitely —
         the pre-deadline behaviour).
+    store / store_dir / store_limit_bytes / store_warm:
+        Warm-start persistence.  ``store`` is an existing
+        :class:`~repro.store.GraphStore`; ``store_dir`` builds one at
+        that path (budgeted by ``store_limit_bytes``).  Either wires
+        the owned manager to consult the store before compiling and to
+        persist freshly compiled graphs, and pre-warms the
+        ``store_warm`` most-recently-used fingerprints at construction
+        (``None``: up to ``max_sessions``; ``0`` disables pre-warming).
+        Only valid when the service owns its manager — a supplied
+        ``manager`` brings (or deliberately lacks) its own store.
     registry:
         The :class:`~repro.observability.MetricsRegistry` wired through
         the whole stack — the manager, its sessions, the queue, and any
@@ -166,9 +177,22 @@ class ServingService:
         shipping: str = "auto",
         submit_timeout_seconds: Optional[float] = None,
         registry: Optional[MetricsRegistry] = None,
+        store: Optional[Any] = None,
+        store_dir: Optional[str] = None,
+        store_limit_bytes: Optional[int] = None,
+        store_warm: Optional[int] = None,
     ) -> None:
         self.submit_timeout_seconds = submit_timeout_seconds
         self._owns_manager = manager is None
+        if manager is not None and (store is not None or store_dir is not None):
+            raise ConfigurationError(
+                "pass the store to the SessionManager when supplying one: "
+                "ServingService(manager=...) cannot also take store/store_dir"
+            )
+        if store is not None and store_dir is not None:
+            raise ConfigurationError(
+                "pass either store or store_dir, not both"
+            )
         if registry is None:
             # Adopt a supplied manager's registry so the stack still
             # shares one scrape; otherwise the service roots a new one.
@@ -176,6 +200,14 @@ class ServingService:
             # may not carry one.
             registry = getattr(manager, "registry", None) or MetricsRegistry()
         self.registry = registry
+        if store_dir is not None:
+            # Imported lazily: repro.store imports from repro.serving,
+            # so a module-level import here would be a cycle.
+            from ..store import GraphStore
+
+            store = GraphStore(
+                store_dir, max_bytes=store_limit_bytes, registry=registry
+            )
         # Explicit None-check: SessionManager defines __len__, so a
         # caller's freshly-built (empty) manager is *falsy* and a bare
         # `manager or ...` would silently replace it.
@@ -188,7 +220,20 @@ class ServingService:
             representation=representation,
             shipping=shipping,
             registry=registry,
+            store=store,
         )
+        self.store = getattr(self.manager, "store", None)
+        self.warmed: List[str] = []
+        if (
+            self._owns_manager
+            and self.store is not None
+            and (store_warm is None or store_warm > 0)
+        ):
+            from ..store import StoreWarmer
+
+            self.warmed = StoreWarmer(
+                self.store, self.manager, limit=store_warm
+            ).warm()
         self.queue = ServingQueue(
             self.manager,
             workers=queue_workers,
@@ -391,6 +436,7 @@ class ServingService:
                 trace.record("session_acquire", acquire)
             trace.record("detect", result.elapsed_seconds)
             trace.mark("session_hit", stats.get("session_hit"))
+            trace.mark("session_source", stats.get("session_source"))
             with trace.span("render"):
                 communities = _serialize_cover(result.cover)
         else:
@@ -401,6 +447,7 @@ class ServingService:
             "algorithm": result.algorithm,
             "fingerprint": stats.get("session_fingerprint"),
             "session_hit": stats.get("session_hit"),
+            "session_source": stats.get("session_source"),
             "communities": communities,
             "elapsed_seconds": result.elapsed_seconds,
             "latency_seconds": latency,
@@ -497,7 +544,7 @@ class ServingService:
                 failures += 1
         output_stream.flush()
         manager_stats = self.manager.stats
-        return {
+        summary = {
             "requests": responses,
             "ok": responses - failures,
             "failed": failures,
@@ -512,6 +559,13 @@ class ServingService:
             "max_latency_seconds": max(latencies) if latencies else 0.0,
             "peak_queue_depth": self.stats_peak_depth(),
         }
+        if self.store is not None:
+            store_stats = self.store.stats
+            summary["store_hits"] = store_stats.hits
+            summary["store_misses"] = store_stats.misses
+            summary["store_saves"] = store_stats.saves
+            summary["store_bytes"] = self.store.total_bytes()
+        return summary
 
     def stats_peak_depth(self) -> int:
         """Deepest the request queue got during this service's lifetime."""

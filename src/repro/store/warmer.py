@@ -1,0 +1,74 @@
+"""StoreWarmer: bind the store's hottest graphs before traffic arrives.
+
+Persistence (:class:`~repro.store.GraphStore`) makes a restarted
+process *able* to skip compile-and-solve; the warmer makes it skip the
+store round-trip too, for the graphs that matter: at startup it reads
+the store's persisted access log, picks the top-N most-recently-used
+fingerprints, and binds each into the
+:class:`~repro.serving.SessionManager` via
+:meth:`~repro.serving.SessionManager.warm` — so the first request for a
+popular graph after a restart finds its session already resident and is
+answered at warm-session latency with ``session_source: "store"``.
+
+Warming proceeds **oldest-of-the-top-N first**: each bind refreshes the
+manager's LRU, so after warming, the manager's eviction order mirrors
+the store's recency order — if the manager holds fewer sessions than
+were warmed, it is the *most* recently used graphs that survive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ServingError
+
+__all__ = ["StoreWarmer"]
+
+
+class StoreWarmer:
+    """Pre-warm a session manager from a graph store's access log.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.store.GraphStore` to read; its persisted
+        access log (``access.json``) defines recency.
+    manager:
+        The :class:`~repro.serving.SessionManager` to warm.  It must
+        have been constructed with this store (``store=``) — warming a
+        store-less manager is a configuration error, not a silent
+        no-op.
+    limit:
+        Default number of fingerprints to warm; ``None`` falls back to
+        the manager's ``max_sessions`` (warming more than fit resident
+        would only churn the LRU).
+    """
+
+    def __init__(self, store, manager, limit: Optional[int] = None) -> None:
+        if getattr(manager, "store", None) is not store:
+            raise ServingError(
+                "StoreWarmer needs a SessionManager constructed with this "
+                "store (SessionManager(store=...))"
+            )
+        self.store = store
+        self.manager = manager
+        self.limit = limit
+
+    def warm(self, limit: Optional[int] = None) -> List[str]:
+        """Bind the top-N most-recently-used fingerprints; return them.
+
+        Returns the fingerprints actually warmed, most recently used
+        last (the manager's MRU end).  Entries that fail to load —
+        pruned meanwhile, corrupt, or the store emptied — are skipped;
+        warming never raises on cache contents.
+        """
+        count = limit if limit is not None else self.limit
+        if count is None:
+            count = self.manager.max_sessions
+        if count <= 0:
+            return []
+        warmed: List[str] = []
+        for fingerprint in reversed(self.store.recent(count)):
+            if self.manager.warm(fingerprint):
+                warmed.append(fingerprint)
+        return warmed

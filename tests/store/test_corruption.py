@@ -1,0 +1,167 @@
+"""Corruption robustness: a damaged entry is never served, only warned.
+
+Every failure mode — truncated array file, flipped payload byte, a
+format-version bump, a mangled label table or manifest — must turn into
+a *single* ``warnings.warn`` plus a ``None`` from ``load`` (the caller
+recompiles), and the bad entry must be overwritten by the next save.
+"""
+
+import json
+
+import pytest
+
+from repro import GraphStore, compile_graph, graph_fingerprint
+from repro.generators import ring_of_cliques
+
+
+@pytest.fixture
+def graph():
+    g, _ = ring_of_cliques(3, 4)
+    return g
+
+
+@pytest.fixture
+def store(tmp_path):
+    return GraphStore(tmp_path / "store")
+
+
+@pytest.fixture
+def saved(store, graph):
+    """A committed entry, returning (fingerprint, payload_dir)."""
+    store.save(graph)
+    fingerprint = graph_fingerprint(graph)
+    payload = store.root / fingerprint[:2] / store.manifest(fingerprint)["payload"]
+    return fingerprint, payload
+
+
+def assert_single_warned_fallback(store, fingerprint):
+    """load() -> None with exactly one RuntimeWarning, entry discarded."""
+    with pytest.warns(RuntimeWarning) as caught:
+        assert store.load(fingerprint) is None
+    store_warnings = [
+        w for w in caught if "repro graph store" in str(w.message)
+    ]
+    assert len(store_warnings) == 1
+    assert "recompiling" in str(store_warnings[0].message)
+    # The manifest is dropped so later loads are clean misses, not
+    # repeated warnings.
+    assert fingerprint not in store
+    assert store.stats.corrupt == 1
+
+
+class TestTruncatedArray:
+    def test_truncated_array_file_falls_back(self, store, saved):
+        fingerprint, payload = saved
+        target = payload / "indices.npy"
+        target.write_bytes(target.read_bytes()[:-8])
+        assert_single_warned_fallback(store, fingerprint)
+
+    def test_deleted_array_file_falls_back(self, store, saved):
+        fingerprint, payload = saved
+        (payload / "degrees.npy").unlink()
+        assert_single_warned_fallback(store, fingerprint)
+
+
+class TestChecksumMismatch:
+    def test_flipped_payload_byte_falls_back(self, store, saved):
+        fingerprint, payload = saved
+        target = payload / "degrees.npy"
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF  # same size, wrong content
+        target.write_bytes(bytes(blob))
+        assert_single_warned_fallback(store, fingerprint)
+
+    def test_hand_edited_manifest_checksum_falls_back(self, store, saved):
+        fingerprint, _ = saved
+        path = store.root / fingerprint[:2] / f"{fingerprint}.json"
+        manifest = json.loads(path.read_text())
+        manifest["checksum"] = "0" * 64
+        path.write_text(json.dumps(manifest))
+        assert_single_warned_fallback(store, fingerprint)
+
+    def test_swapped_fingerprint_is_never_served(self, store, graph):
+        """A manifest filed under the wrong key must not hand out the
+        wrong graph — the fingerprint is part of what is verified."""
+        store.save(graph)
+        fingerprint = graph_fingerprint(graph)
+        other_key = ("0" if fingerprint[0] != "0" else "1") + fingerprint[1:]
+        src = store.root / fingerprint[:2] / f"{fingerprint}.json"
+        dst = store.root / other_key[:2]
+        dst.mkdir(exist_ok=True)
+        (dst / f"{other_key}.json").write_text(src.read_text())
+        with pytest.warns(RuntimeWarning):
+            assert store.load(other_key) is None
+
+
+class TestFormatVersion:
+    def test_version_bump_falls_back(self, store, saved):
+        fingerprint, _ = saved
+        path = store.root / fingerprint[:2] / f"{fingerprint}.json"
+        manifest = json.loads(path.read_text())
+        manifest["format_version"] = 999
+        path.write_text(json.dumps(manifest))
+        assert_single_warned_fallback(store, fingerprint)
+
+    def test_malformed_manifest_json_falls_back(self, store, saved):
+        fingerprint, _ = saved
+        path = store.root / fingerprint[:2] / f"{fingerprint}.json"
+        path.write_text("{not json")
+        assert_single_warned_fallback(store, fingerprint)
+
+
+class TestLabelTable:
+    def test_corrupt_label_table_falls_back(self, store):
+        base, _ = ring_of_cliques(3, 4)
+        from repro import Graph
+
+        mapping = {node: f"n{node}" for node in base.nodes()}
+        g = Graph(nodes=(mapping[node] for node in base.nodes()))
+        for u, v in base.edges():
+            g.add_edge(mapping[u], mapping[v])
+        store.save(g)
+        fingerprint = graph_fingerprint(g)
+        payload = (
+            store.root / fingerprint[:2] / store.manifest(fingerprint)["payload"]
+        )
+        blob = bytearray((payload / "labels.json").read_bytes())
+        blob[1] ^= 0x01
+        (payload / "labels.json").write_bytes(bytes(blob))
+        assert_single_warned_fallback(store, fingerprint)
+
+
+def test_bad_entry_is_overwritten_by_the_next_save(store, graph):
+    store.save(graph)
+    fingerprint = graph_fingerprint(graph)
+    payload = store.root / fingerprint[:2] / store.manifest(fingerprint)["payload"]
+    target = payload / "indptr.npy"
+    target.write_bytes(target.read_bytes()[:-4])
+    with pytest.warns(RuntimeWarning):
+        assert store.load(fingerprint) is None
+    # The fallback path: caller recompiles and saves again.
+    assert store.save(compile_graph(graph)) is True
+    loaded = store.load(fingerprint)
+    assert loaded is not None
+    assert graph_fingerprint(loaded) == fingerprint
+    assert store.stats.hits == 1
+
+
+def test_manager_falls_back_to_recompile_on_corrupt_entry(tmp_path, graph):
+    """End to end: a corrupt store entry costs one warning and a
+    recompile, never a failed or wrong detection."""
+    from repro import SessionManager
+
+    store = GraphStore(tmp_path / "store")
+    with SessionManager(max_sessions=2, store=store) as manager:
+        clean = manager.detect(graph, "oca", seed=3)
+    fingerprint = graph_fingerprint(graph)
+    payload = store.root / fingerprint[:2] / store.manifest(fingerprint)["payload"]
+    target = payload / "indices.npy"
+    target.write_bytes(target.read_bytes()[:-8])
+    store2 = GraphStore(tmp_path / "store")
+    with SessionManager(max_sessions=2, store=store2) as manager:
+        with pytest.warns(RuntimeWarning):
+            result = manager.detect(graph, "oca", seed=3)
+        assert result.stats["session_source"] == "compiled"
+        assert result.cover == clean.cover
+    # The recompile re-saved a good entry.
+    assert store2.load(fingerprint) is not None

@@ -1,0 +1,235 @@
+"""Store wired through manager, warmer, service, and CLI stats."""
+
+import io
+import json
+
+import pytest
+
+from repro import (
+    GraphStore,
+    ServingService,
+    SessionManager,
+    StoreWarmer,
+    graph_fingerprint,
+)
+from repro.errors import ConfigurationError, ServingError
+from repro.generators import ring_of_cliques
+
+
+@pytest.fixture
+def graph():
+    g, _ = ring_of_cliques(4, 5)
+    return g
+
+
+@pytest.fixture
+def other_graph():
+    g, _ = ring_of_cliques(5, 4)
+    return g
+
+
+class TestManagerStoreLifecycle:
+    def test_session_source_progression(self, tmp_path, graph):
+        store = GraphStore(tmp_path / "store")
+        with SessionManager(max_sessions=2, store=store) as manager:
+            first = manager.detect(graph, "oca", seed=1)
+            second = manager.detect(graph, "oca", seed=2)
+        assert first.stats["session_source"] == "compiled"
+        assert second.stats["session_source"] == "warm"
+        store2 = GraphStore(tmp_path / "store")
+        with SessionManager(max_sessions=2, store=store2) as manager:
+            third = manager.detect(graph, "oca", seed=3)
+            fourth = manager.detect(graph, "oca", seed=4)
+        assert third.stats["session_source"] == "store"
+        assert fourth.stats["session_source"] == "warm"
+
+    def test_eviction_victim_rebinds_from_the_store(
+        self, tmp_path, graph, other_graph
+    ):
+        store = GraphStore(tmp_path / "store")
+        with SessionManager(max_sessions=1, store=store) as manager:
+            manager.detect(graph, "oca", seed=1)
+            manager.detect(other_graph, "oca", seed=1)  # evicts graph
+            back = manager.detect(graph, "oca", seed=1)
+            assert back.stats["session_source"] == "store"
+            assert store.stats.hits == 1
+
+    def test_storeless_manager_behaviour_is_unchanged(self, graph):
+        with SessionManager(max_sessions=2) as manager:
+            first = manager.detect(graph, "oca", seed=1)
+            second = manager.detect(graph, "oca", seed=1)
+            assert first.stats["session_source"] == "compiled"
+            assert second.stats["session_source"] == "warm"
+            with pytest.raises(ServingError):
+                manager.warm("f" * 64)
+
+    def test_unknown_fingerprint_still_errors_with_a_store(
+        self, tmp_path, graph
+    ):
+        store = GraphStore(tmp_path / "store")
+        with SessionManager(max_sessions=2, store=store) as manager:
+            with pytest.raises(ServingError, match="no loadable entry"):
+                manager.detect("f" * 64, "oca")
+
+    def test_session_accessor_binds_from_the_store(self, tmp_path, graph):
+        store = GraphStore(tmp_path / "store")
+        with SessionManager(max_sessions=1, store=store) as manager:
+            manager.detect(graph, "oca", seed=1)
+            fingerprint = manager.fingerprint(graph)
+        with SessionManager(max_sessions=1, store=store) as manager:
+            session = manager.session(fingerprint)
+            assert session.detect("oca", seed=1) is not None
+            assert fingerprint in manager
+
+
+class TestWarmer:
+    def test_warm_binds_most_recent_first_under_a_limit(
+        self, tmp_path, graph, other_graph
+    ):
+        store = GraphStore(tmp_path / "store")
+        with SessionManager(max_sessions=2, store=store) as manager:
+            manager.detect(graph, "oca", seed=1)
+            manager.detect(other_graph, "oca", seed=1)
+        fp_old = graph_fingerprint(graph)
+        fp_new = graph_fingerprint(other_graph)
+        with SessionManager(max_sessions=2, store=store) as manager:
+            warmed = StoreWarmer(store, manager, limit=1).warm()
+            assert warmed == [fp_new]
+            assert manager.fingerprints() == [fp_new]
+        with SessionManager(max_sessions=2, store=store) as manager:
+            warmed = StoreWarmer(store, manager).warm()
+            # Both warmed; LRU order mirrors store recency (MRU last).
+            assert warmed == [fp_old, fp_new]
+            assert manager.fingerprints() == [fp_old, fp_new]
+            assert manager.stats.prewarmed == 2
+
+    def test_warmer_requires_the_managers_store(self, tmp_path, graph):
+        store = GraphStore(tmp_path / "a")
+        other = GraphStore(tmp_path / "b")
+        with SessionManager(max_sessions=1, store=store) as manager:
+            with pytest.raises(ServingError):
+                StoreWarmer(other, manager)
+        with SessionManager(max_sessions=1) as manager:
+            with pytest.raises(ServingError):
+                StoreWarmer(store, manager)
+
+    def test_warming_skips_unloadable_entries(self, tmp_path, graph):
+        store = GraphStore(tmp_path / "store")
+        with SessionManager(max_sessions=1, store=store) as manager:
+            manager.detect(graph, "oca", seed=1)
+            fingerprint = manager.fingerprint(graph)
+        (store.root / fingerprint[:2] / f"{fingerprint}.json").unlink()
+        with SessionManager(max_sessions=1, store=store) as manager:
+            assert StoreWarmer(store, manager).warm() == []
+            assert len(manager) == 0
+
+
+class TestServiceWiring:
+    def _request(self, graph):
+        return json.dumps(
+            {
+                "id": "r1",
+                "graph": {"edges": [[u, v] for u, v in graph.edges()]},
+                "algorithm": "oca",
+                "seed": 7,
+            }
+        )
+
+    def test_store_dir_round_trip_through_the_service(self, tmp_path, graph):
+        line = self._request(graph)
+        with ServingService(
+            max_sessions=2, store_dir=str(tmp_path / "store")
+        ) as service:
+            first = list(service.handle_lines([line]))[0]
+            assert first["ok"] and first["session_source"] == "compiled"
+        with ServingService(
+            max_sessions=2, store_dir=str(tmp_path / "store")
+        ) as service:
+            assert service.warmed == [first["fingerprint"]]
+            second = list(service.handle_lines([line]))[0]
+            assert second["ok"] and second["session_source"] == "store"
+            assert second["communities"] == first["communities"]
+            summary_stream = io.StringIO()
+            summary = service.serve(io.StringIO(""), summary_stream)
+            assert summary["store_hits"] == 1
+            assert summary["store_bytes"] > 0
+
+    def test_store_warm_zero_disables_prewarming(self, tmp_path, graph):
+        line = self._request(graph)
+        with ServingService(
+            max_sessions=2, store_dir=str(tmp_path / "store")
+        ) as service:
+            list(service.handle_lines([line]))
+        with ServingService(
+            max_sessions=2, store_dir=str(tmp_path / "store"), store_warm=0
+        ) as service:
+            assert service.warmed == []
+            assert len(service.manager) == 0
+            response = list(service.handle_lines([line]))[0]
+            assert response["session_source"] == "store"
+
+    def test_supplied_manager_refuses_store_arguments(self, tmp_path):
+        with SessionManager(max_sessions=1) as manager:
+            with pytest.raises(ConfigurationError):
+                ServingService(
+                    manager=manager, store_dir=str(tmp_path / "store")
+                )
+
+    def test_store_limit_bytes_reaches_the_store(self, tmp_path):
+        with ServingService(
+            max_sessions=1,
+            store_dir=str(tmp_path / "store"),
+            store_limit_bytes=12345,
+        ) as service:
+            assert service.store.max_bytes == 12345
+
+    def test_storeless_service_omits_store_fields(self, graph):
+        with ServingService(max_sessions=1) as service:
+            summary = service.serve(
+                io.StringIO(self._request(graph) + "\n"), io.StringIO()
+            )
+            assert "store_hits" not in summary
+            assert service.store is None
+
+
+class TestStatsLine:
+    def test_stats_line_includes_store_figures(self, tmp_path, graph):
+        from repro.cli import _stats_line
+
+        with ServingService(
+            max_sessions=1, store_dir=str(tmp_path / "store")
+        ) as service:
+            line = json.dumps(
+                {"graph": {"edges": [[u, v] for u, v in graph.edges()]}}
+            )
+            list(service.handle_lines([line]))
+            rendered = _stats_line(service)
+        assert "store hits=0" in rendered
+        assert "misses=1" in rendered.split("store", 1)[1]
+        assert "saves=1" in rendered
+        assert "bytes=" in rendered
+
+    def test_stats_line_without_a_store_is_unchanged(self):
+        from repro.cli import _stats_line
+
+        with ServingService(max_sessions=1) as service:
+            rendered = _stats_line(service)
+        assert "store hits" not in rendered
+        assert rendered.startswith("stats: queue depth=")
+
+
+def test_http_metrics_expose_store_counters(tmp_path, graph):
+    """The registry the store publishes into is the one /metrics
+    renders — a store hit is visible to a scraper."""
+    store_dir = str(tmp_path / "store")
+    line = json.dumps(
+        {"graph": {"edges": [[u, v] for u, v in graph.edges()]}}
+    )
+    with ServingService(max_sessions=1, store_dir=store_dir) as service:
+        list(service.handle_lines([line]))
+    with ServingService(max_sessions=1, store_dir=store_dir) as service:
+        list(service.handle_lines([line]))
+        rendered = service.registry.render()
+    assert 'repro_store_requests_total{outcome="hit"} 1' in rendered
+    assert "repro_store_entries 1" in rendered
+    assert "repro_store_load_seconds" in rendered
