@@ -1,0 +1,371 @@
+"""Deep-observability overhead: what the forensics layer costs when on.
+
+ISSUE 9 wires an event log (ring + JSONL sink), SLO tracking (P²
+quantiles + error budget), slow-request capture, and an on-demand
+sampling profiler through the serving stack.  All of it rides the
+per-response render funnel, so the cost question is sharp: what does a
+warm fingerprint request pay when every instrument is live?  Measured
+on the established LFR family and seeds (bench_csr / bench_session /
+bench_serving / bench_socket / bench_http):
+
+* **instrumented vs disabled** — the same warm volume served through a
+  stack with everything on (live registry, event ring, line-buffered
+  JSONL access log, SLO tracker, slow-request threshold) vs one with
+  everything off (``NULL_REGISTRY``, ``event_capacity=0``, no SLO, no
+  slow threshold): the headline bound is **under 5%**;
+* **profiler-active** — the instrumented stack again while the
+  sampling profiler runs at its default 200 Hz, bounding what a live
+  ``GET /debug/profile`` costs concurrent traffic;
+* **fidelity** — instrumented and disabled covers are byte-identical
+  (observability observes, it never changes results), and the
+  instrumented run actually produced its forensics: one request event
+  per response in the ring and the access log, live SLO quantiles.
+
+Also runnable standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py              # full sweep
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke      # CI-sized
+
+The full sweep (n in {2000, 6000, 20000}) writes machine-readable
+results to ``BENCH_obs.json`` at the repository root — the same record
+format as the BENCH_*.json trajectory; ``--smoke`` runs one small size
+and writes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.generators import LFRParams, lfr_graph
+from repro.graph import write_edge_list
+from repro.observability import NULL_REGISTRY, SamplingProfiler
+from repro.serving import ServingService
+
+#: Same sizes as bench_csr / bench_session / bench_serving / bench_http.
+FULL_SIZES = (2000, 6000, 20000)
+SMOKE_SIZES = (300,)
+
+#: Distinct graphs per size (the resident warm-session set).
+GRAPHS = 3
+
+#: Warm requests per phase (in-process through ``handle_lines``, so the
+#: same volume is cheap to repeat for all three configurations).
+REQUESTS = 30
+
+#: Interleaved repetitions per configuration.  The per-request
+#: instrument cost is microseconds against detects of 10ms–1s, far
+#: below single-shot wall-clock jitter on a busy CI host — so each
+#: configuration is timed REPEATS times in interleaved A/B/C order and
+#: scored by its *minimum* (the run least disturbed by the host).
+REPEATS = 3
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_graph(n: int, seed: int):
+    """The bench_csr LFR family: dense communities, heavy tasks."""
+    params = LFRParams(
+        n=n,
+        mu=0.3,
+        average_degree=min(40.0, max(8.0, n / 25)),
+        max_degree=min(100, max(20, n // 10)),
+        min_community=min(60, max(10, n // 20)),
+        max_community=min(120, max(20, n // 10)),
+    )
+    return lfr_graph(params, seed=seed).graph
+
+
+@dataclass
+class SizeResult:
+    """Every measurement for one graph size."""
+
+    n: int
+    m_total: int
+    graphs: int
+    requests: int
+    instrumented_seconds: float
+    disabled_seconds: float
+    observability_overhead_ratio: float
+    profiler_seconds: float
+    profiler_overhead_ratio: float
+    covers_match_disabled: bool
+    events_logged: int
+    access_log_lines: int
+    slo_p99_seconds: float
+
+
+def _round_robin_payloads(
+    fingerprints: List[str], count: int, seed_base: int
+) -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": index,
+            "fingerprint": fingerprints[index % len(fingerprints)],
+            "seed": seed_base + index,
+        }
+        for index in range(count)
+    ]
+
+
+def _serve_volume(
+    paths: List[str], requests: int, **service_kwargs: Any
+) -> Tuple[float, List[Dict[str, Any]], Dict[str, Any]]:
+    """Wall seconds + responses for one warm volume through a service.
+
+    In-process (no network) so the measured differences between the
+    instrumented and disabled stacks are the instruments themselves.
+    Returns ``(elapsed, responses, forensics)`` where forensics holds
+    the instrumented run's event/SLO evidence (empty when disabled).
+    """
+    kwargs: Dict[str, Any] = dict(
+        max_sessions=GRAPHS, queue_workers=2, max_depth=64
+    )
+    kwargs.update(service_kwargs)
+    with ServingService(**kwargs) as service:
+        fingerprints = []
+        for index, path in enumerate(paths):
+            lines = [json.dumps({"id": f"w{index}", "graph": path, "seed": 0})]
+            response = next(iter(service.handle_lines(lines)))
+            assert response["ok"], response
+            fingerprints.append(response["fingerprint"])
+        payloads = _round_robin_payloads(fingerprints, requests, seed_base=1)
+        lines = [json.dumps(p) for p in payloads]
+        start = time.perf_counter()
+        responses = list(service.handle_lines(lines))
+        elapsed = time.perf_counter() - start
+        assert all(r["ok"] for r in responses)
+        forensics: Dict[str, Any] = {
+            "events_logged": len(
+                service.events.tail(kind="request")
+            ),
+            "slo_p99": (
+                service.slo.quantile("p99")
+                if service.slo is not None
+                else float("nan")
+            ),
+        }
+    return elapsed, responses, forensics
+
+
+def measure_size(n: int, seed: int, echo=print) -> SizeResult:
+    """Run the observability-overhead comparison for one graph size."""
+    graphs = [build_graph(n, seed + index) for index in range(GRAPHS)]
+    m_total = sum(graph.number_of_edges() for graph in graphs)
+    echo(f"-- LFR n={n} x{GRAPHS} graphs, m_total={m_total}")
+
+    tmp = tempfile.mkdtemp(prefix="bench_obs_")
+    paths = []
+    for index, graph in enumerate(graphs):
+        path = Path(tmp) / f"graph_{index}.edges"
+        write_edge_list(graph, path)
+        paths.append(str(path))
+    access_log = Path(tmp) / "access.jsonl"
+
+    instrumented_kwargs: Dict[str, Any] = dict(
+        access_log_path=access_log,
+        slo="p99:0.5s,availability:99.9",
+        # High threshold: the capture *check* runs per response (that is
+        # the cost being measured) without actually tripping.
+        slow_threshold_seconds=60.0,
+    )
+
+    # Phase 0 (untimed): prime imports, allocators, and the page cache
+    # so the first timed repetition is not charged for process warm-up.
+    _serve_volume(paths, REQUESTS, registry=NULL_REGISTRY, event_capacity=0)
+
+    # Interleaved repetitions, scored by per-configuration minimum:
+    # A — everything on (registry, ring, sink, SLO, slow check);
+    # B — everything off (every instrument its inert twin);
+    # C — instrumented again under an active sampling profiler (what a
+    #     live /debug/profile costs concurrent traffic).
+    instrumented_times: List[float] = []
+    disabled_times: List[float] = []
+    profiler_times: List[float] = []
+    instrumented_responses: List[Dict[str, Any]] = []
+    disabled_responses: List[Dict[str, Any]] = []
+    forensics: Dict[str, Any] = {}
+    for rep in range(REPEATS):
+        elapsed, responses, rep_forensics = _serve_volume(
+            paths, REQUESTS, **instrumented_kwargs
+        )
+        instrumented_times.append(elapsed)
+        if rep == 0:
+            instrumented_responses, forensics = responses, rep_forensics
+            access_log_lines = sum(
+                1 for line in access_log.read_text().splitlines() if line
+            )
+
+        elapsed, responses, _ = _serve_volume(
+            paths, REQUESTS, registry=NULL_REGISTRY, event_capacity=0
+        )
+        disabled_times.append(elapsed)
+        if rep == 0:
+            disabled_responses = responses
+
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            elapsed, _, _ = _serve_volume(
+                paths, REQUESTS, **instrumented_kwargs
+            )
+        finally:
+            report = profiler.stop()
+        profiler_times.append(elapsed)
+        assert report.samples > 0
+
+    instrumented_seconds = min(instrumented_times)
+    disabled_seconds = min(disabled_times)
+    profiler_seconds = min(profiler_times)
+
+    # Observability observes; it must never change results.
+    covers_match = [r["communities"] for r in instrumented_responses] == [
+        r["communities"] for r in disabled_responses
+    ]
+    if not covers_match:
+        raise AssertionError(
+            f"observability contract violated at n={n}: instrumented "
+            "covers differ from the disabled stack's"
+        )
+
+    overhead_ratio = instrumented_seconds / disabled_seconds - 1.0
+    profiler_ratio = profiler_seconds / disabled_seconds - 1.0
+    echo(
+        f"   instrumented {instrumented_seconds:.3f}s | disabled "
+        f"{disabled_seconds:.3f}s ({overhead_ratio * 100:+.1f}%) | "
+        f"profiler-active {profiler_seconds:.3f}s "
+        f"({profiler_ratio * 100:+.1f}%) | covers match: {covers_match} | "
+        f"{forensics['events_logged']} events, "
+        f"{access_log_lines} access-log lines"
+    )
+    return SizeResult(
+        n=n,
+        m_total=m_total,
+        graphs=GRAPHS,
+        requests=REQUESTS,
+        instrumented_seconds=instrumented_seconds,
+        disabled_seconds=disabled_seconds,
+        observability_overhead_ratio=overhead_ratio,
+        profiler_seconds=profiler_seconds,
+        profiler_overhead_ratio=profiler_ratio,
+        covers_match_disabled=covers_match,
+        events_logged=forensics["events_logged"],
+        access_log_lines=access_log_lines,
+        slo_p99_seconds=forensics["slo_p99"],
+    )
+
+
+def run_bench(sizes=FULL_SIZES, seed: int = 2, echo=print) -> List[SizeResult]:
+    """Measure every size; returns the per-size results."""
+    echo(
+        f"observability bench: sizes {list(sizes)}, {GRAPHS} graphs per "
+        f"size, {REQUESTS} warm requests, {_available_cpus()} CPU(s)"
+    )
+    return [measure_size(n, seed=seed, echo=echo) for n in sizes]
+
+
+def write_json(results: List[SizeResult], path: Path = _JSON_PATH) -> None:
+    """Emit the machine-readable benchmark record (BENCH_csr.json format)."""
+    payload = {
+        "benchmark": "bench_obs",
+        "description": (
+            "Deep-observability overhead: warm fingerprint-request volume "
+            "served in-process through a fully instrumented stack (live "
+            "MetricsRegistry, event ring, JSONL access-log sink, SLO "
+            "tracker, slow-request threshold) vs the same volume with "
+            "every instrument disabled (NULL_REGISTRY, event_capacity=0), "
+            "plus the instrumented stack under an active 200 Hz sampling "
+            "profiler; instrumented covers byte-identical to disabled "
+            "covers, one request event per response in ring and sink"
+        ),
+        "family": "lfr",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": _available_cpus(),
+        "unix_time": int(time.time()),
+        "results": [asdict(result) for result in results],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark wrapper
+# ----------------------------------------------------------------------
+def test_observability_overhead_stays_small_and_covers_match(benchmark):
+    from conftest import run_once
+
+    lines: List[str] = []
+    results = run_once(benchmark, run_bench, sizes=(2000,), echo=lines.append)
+    print()
+    for line in lines:
+        print(line)
+    result = results[0]
+    assert result.covers_match_disabled
+    # Forensics actually happened: one request event per warm response,
+    # in the ring and in the sink (plus the warm-up requests).
+    assert result.events_logged == GRAPHS + REQUESTS
+    assert result.access_log_lines >= GRAPHS + REQUESTS
+    # The headline bound is 5%; asserted loosely so CI timer jitter
+    # cannot flake the suite.
+    assert result.observability_overhead_ratio < 0.5
+    assert result.profiler_overhead_ratio < 1.0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small size, no JSON output (CI smoke check)",
+    )
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="override the size sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.sizes:
+        sizes = tuple(args.sizes)
+    else:
+        sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    results = run_bench(sizes=sizes, seed=args.seed)
+    if not args.smoke:
+        write_json(results)
+        print(f"wrote {_JSON_PATH}")
+    over_budget = [
+        r for r in results if r.observability_overhead_ratio > 0.05
+    ]
+    if over_budget:
+        print(
+            "WARNING: observability overhead above 5% at "
+            + ", ".join(
+                f"n={r.n} ({r.observability_overhead_ratio * 100:+.1f}%)"
+                for r in over_budget
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,7 +114,7 @@ from .serving import (
 )
 from .store import GraphStore, StoreStats, StoreWarmer
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

@@ -313,6 +313,70 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append one JSON line per structured event (every request, "
+            "shed, rejection, eviction, store fallback, server "
+            "start/stop) to this file — the durable flight recorder; "
+            "events also stay in the in-memory ring GET /debug/events "
+            "serves"
+        ),
+    )
+    serve.add_argument(
+        "--access-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "rotate the access log when it would exceed N bytes (the "
+            "previous file becomes PATH.1); default: never rotate"
+        ),
+    )
+    serve.add_argument(
+        "--event-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help=(
+            "in-memory event ring size (drop-oldest beyond it, with a "
+            "dropped counter); 0 disables the event pipeline entirely"
+        ),
+    )
+    serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "service-level objectives, comma-separated: latency clauses "
+            "'pNN:<seconds>[s]' (streaming P-squared quantile vs target) "
+            "and 'availability:<percent>' (sliding-window error budget) "
+            "— e.g. 'p99:0.5s,availability:99.9'; exported as "
+            "repro_slo_* gauges on /metrics and summarised by "
+            "--stats-interval"
+        ),
+    )
+    serve.add_argument(
+        "--slow-threshold-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "capture any request at or above S seconds — full trace "
+            "spans, engine stats, queue context — in the bounded "
+            "worst-N table GET /debug/slow serves (0 captures "
+            "everything; default: capture nothing)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-capacity",
+        type=int,
+        default=32,
+        metavar="N",
+        help="how many slowest requests the /debug/slow table retains",
+    )
+    serve.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the end-of-batch summary line on stderr",
@@ -419,6 +483,9 @@ def _stats_line(service) -> str:
             f"misses={store_stats.misses} saves={store_stats.saves} "
             f"bytes={store.total_bytes()}B"
         )
+    slo = getattr(service, "slo", None)
+    if slo is not None:
+        line += " | " + slo.summary()
     return line
 
 
@@ -447,6 +514,12 @@ def _command_serve_net(args: argparse.Namespace, max_memory_bytes) -> int:
         store_dir=args.store_dir,
         store_limit_bytes=args.store_limit_bytes,
         store_warm=args.store_warm,
+        event_capacity=args.event_capacity,
+        access_log_path=args.access_log,
+        access_log_max_bytes=args.access_log_max_bytes,
+        slo=args.slo,
+        slow_threshold_seconds=args.slow_threshold_seconds,
+        slow_capacity=args.slow_capacity,
     )
     servers = []
     if args.listen is not None:
@@ -546,6 +619,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             store_dir=args.store_dir,
             store_limit_bytes=args.store_limit_bytes,
             store_warm=args.store_warm,
+            event_capacity=args.event_capacity,
+            access_log_path=args.access_log,
+            access_log_max_bytes=args.access_log_max_bytes,
+            slo=args.slo,
+            slow_threshold_seconds=args.slow_threshold_seconds,
+            slow_capacity=args.slow_capacity,
         )
 
     if args.requests is not None:

@@ -12,9 +12,23 @@ same numbers *operable*:
   ``--stats-interval`` line), plus :data:`NULL_REGISTRY` to switch the
   bookkeeping off;
 * :mod:`~repro.observability.trace` — :class:`RequestTrace`: a
-  process-unique id per serving request and span timings across
-  parse → queue wait → session acquire → detect → render, echoed in
-  the response's ``trace`` annotation.
+  fleet-unique id (``t-<pid>-NNNNNN``) per serving request and span
+  timings across parse → queue wait → session acquire → detect →
+  render, echoed in the response's ``trace`` annotation;
+* :mod:`~repro.observability.events` — :class:`EventLog`: a bounded
+  in-memory flight recorder plus optional rotating JSONL access-log
+  sink recording every request and every operational event (sheds,
+  rejections, evictions, store corruption, server lifecycle), with
+  :class:`SlowRequestLog` keeping full forensics for the worst-N
+  slowest requests and :data:`NULL_EVENT_LOG` to switch it all off;
+* :mod:`~repro.observability.slo` — :class:`SloTracker`: streaming
+  latency quantiles (stdlib P² estimators) and sliding-window
+  error-budget accounting against operator-declared objectives
+  (``--slo p99:0.5s,availability:99.9``), exported as ``repro_slo_*``
+  gauges;
+* :mod:`~repro.observability.profiler` — :class:`SamplingProfiler`:
+  an on-demand ``sys._current_frames`` sampler returning
+  collapsed-stack flamegraph text (``GET /debug/profile``).
 
 One registry is wired through a whole serving stack
 (:class:`~repro.serving.ServingService` owns it and shares it with its
@@ -25,6 +39,8 @@ The legacy stats dataclasses (``QueueStats``, ``ManagerStats``,
 attributes, same numbers, one source of truth.
 """
 
+from .events import NULL_EVENT_LOG, EventLog, NullEventLog, SlowRequestLog
+from .profiler import ProfileReport, SamplingProfiler
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
     NULL_REGISTRY,
@@ -34,6 +50,7 @@ from .registry import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from .slo import P2Quantile, SloTracker, parse_slo_spec
 from .trace import RequestTrace, new_trace, reset_trace_ids
 
 __all__ = [
@@ -47,4 +64,13 @@ __all__ = [
     "RequestTrace",
     "new_trace",
     "reset_trace_ids",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "SlowRequestLog",
+    "P2Quantile",
+    "SloTracker",
+    "parse_slo_spec",
+    "ProfileReport",
+    "SamplingProfiler",
 ]

@@ -12,14 +12,15 @@ the request object through the queue and comes back in the response's
 client side alone::
 
     {"id": "r1", "ok": true, …,
-     "trace": {"id": "t-000042",
+     "trace": {"id": "t-31337-000042",
                "spans": {"parse": 0.0003, "queue_wait": 0.018,
                          "session_acquire": 0.0001, "detect": 0.21,
                          "render": 0.0007},
                "session_hit": true}}
 
-Ids are monotonic per process (``t-000001``, ``t-000002``, …): cheap,
-collision-free within the process, and trivially assertable in tests.
+Ids are ``t-<pid>-NNNNNN`` with a per-process monotonic counter: cheap,
+collision-free within the process, and — because the pid is baked in —
+unique across a fleet of shard processes whose logs get merged.
 Spans are plain perf-counter durations recorded once each; a station
 that never ran (a parse error, a shed request) simply has no span.
 Traces are written from several threads (parse on an executor thread,
@@ -31,6 +32,7 @@ dict itself.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from typing import Any, Dict, Optional
@@ -42,8 +44,10 @@ _counter_lock = threading.Lock()
 
 
 def _next_id() -> str:
+    # The pid prefix makes ids fleet-unique: logs merged across shard
+    # processes (or across restarts) never collide on a trace id.
     with _counter_lock:
-        return f"t-{next(_counter):06d}"
+        return f"t-{os.getpid()}-{next(_counter):06d}"
 
 
 def reset_trace_ids() -> None:

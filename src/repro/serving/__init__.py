@@ -23,8 +23,10 @@ process:
 * :mod:`~repro.serving.http` — :class:`HttpServer`, the stdlib HTTP/1.1
   adapter (``repro-oca serve --http``): ``GET /health`` readiness,
   ``GET /metrics`` Prometheus scrapes of the stack's shared
-  :class:`~repro.observability.MetricsRegistry`, and ``POST /detect``
-  speaking the exact JSONL service schema.
+  :class:`~repro.observability.MetricsRegistry`, ``POST /detect``
+  speaking the exact JSONL service schema, and the ``GET /debug/*``
+  forensics endpoints (event-log tail, slow-request table, registry
+  snapshot, on-demand sampling profiler).
 
 Quickstart::
 

@@ -27,6 +27,29 @@ over asyncio streams — no web framework, stdlib only:
     over HTTP is byte-identical to one served over the socket, from a
     batch file, or from a direct ``GraphSession.detect``.
 
+``GET /debug/events?n=N&kind=K``
+    The tail of the service's structured event log (the in-memory
+    flight recorder), newest last, optionally bounded to the last ``N``
+    events and filtered by kind — the first place to look after an
+    incident.
+
+``GET /debug/slow?n=N``
+    The worst-N slowest requests captured by ``--slow-threshold-seconds``,
+    slowest first, each with its full trace spans, engine stats, and
+    queue context.
+
+``GET /debug/vars``
+    The registry's flat snapshot (``name{labels} -> value``) as one
+    JSON object — every counter/gauge/histogram, no Prometheus tooling
+    required.
+
+``GET /debug/profile?seconds=S``
+    An on-demand sampling profile of the live process: samples every
+    thread's Python stack for ``S`` seconds (default 1, capped at 60)
+    and returns collapsed-stack text (``stack count`` lines) ready for
+    any flamegraph renderer.  One run at a time — a concurrent request
+    gets 503.
+
 Blocking work (parsing, which may read a graph file; queue-space
 waits; response rendering) runs in the event loop's default executor,
 exactly like the socket front-end.  Connections are keep-alive by
@@ -60,13 +83,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
 from concurrent.futures import CancelledError
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
+from urllib.parse import parse_qs
 
 from ..errors import ConfigurationError, QueueFull, ServingError
-from ..observability import MetricsRegistry
+from ..observability import NULL_EVENT_LOG, MetricsRegistry, SamplingProfiler
 from .service import ServingService, error_response
 
 __all__ = ["HttpServer", "HttpHandle", "start_http_thread"]
@@ -101,7 +126,15 @@ class _HttpMetrics:
     #: The label vocabulary for request paths: known endpoints plus one
     #: bucket for everything else, so scrape cardinality stays fixed no
     #: matter what paths clients probe.
-    KNOWN_PATHS = ("/health", "/metrics", "/detect")
+    KNOWN_PATHS = (
+        "/health",
+        "/metrics",
+        "/detect",
+        "/debug/events",
+        "/debug/slow",
+        "/debug/vars",
+        "/debug/profile",
+    )
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
@@ -194,6 +227,8 @@ class HttpServer:
         self._stopped: Optional[asyncio.Event] = None
         self._inflight_detects = 0
         self._idle: Optional[asyncio.Event] = None
+        self._started_at: Optional[float] = None
+        self._profiler = SamplingProfiler()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -230,6 +265,16 @@ class HttpServer:
             port=self._bind_port,
             limit=_MAX_HEADER_BYTES,
         )
+        self._started_at = time.time()
+        self._events().emit(
+            "server_start", front_end="http", host=self.host, port=self.port
+        )
+
+    def _events(self):
+        """The service's event log (inert when the stack has none)."""
+        # `is None`, not truthiness: an *empty* EventLog is falsy.
+        events = getattr(self.service, "events", None)
+        return NULL_EVENT_LOG if events is None else events
 
     async def wait_stopped(self) -> None:
         """Block until :meth:`stop` has completed (the serve loop)."""
@@ -273,6 +318,9 @@ class HttpServer:
             await asyncio.gather(
                 *list(self._handler_tasks), return_exceptions=True
             )
+        self._events().emit(
+            "server_stop", front_end="http", host=self.host, port=self.port
+        )
         if self._stopped is not None:
             self._stopped.set()
 
@@ -340,7 +388,7 @@ class HttpServer:
                 writer, 400, {"error": "malformed headers"}, False
             )
             return False
-        path = target.split("?", 1)[0]
+        path, _, query = target.partition("?")
         self._metrics.request(path)
         keep_alive = (
             headers.get("connection", "").lower() != "close"
@@ -354,6 +402,10 @@ class HttpServer:
             if method != "GET":
                 return await self._method_not_allowed(writer, "GET", keep_alive)
             return await self._serve_metrics(writer, keep_alive)
+        if path.startswith("/debug/"):
+            if method != "GET":
+                return await self._method_not_allowed(writer, "GET", keep_alive)
+            return await self._serve_debug(writer, path, query, keep_alive)
         if path == "/detect":
             if method != "POST":
                 return await self._method_not_allowed(
@@ -386,10 +438,24 @@ class HttpServer:
     # Endpoints
     # ------------------------------------------------------------------
     def _health_payload(self) -> Dict[str, Any]:
+        # Imported lazily: repro.serving is imported while the top-level
+        # repro package initialises, so a module-level import of the
+        # version attribute would race that initialisation.
+        from .. import __version__
+
         return {
             "status": "draining" if self._draining else "ready",
             "queue_depth": self.service.queue.depth,
             "sessions_resident": len(self.service.manager),
+            # Rolling-restart forensics: which process, up how long,
+            # running which build.
+            "pid": os.getpid(),
+            "uptime_seconds": (
+                round(time.time() - self._started_at, 3)
+                if self._started_at is not None
+                else 0.0
+            ),
+            "version": __version__,
         }
 
     async def _serve_health(
@@ -407,6 +473,117 @@ class HttpServer:
         body = self.service.registry.render().encode("utf-8")
         await self._respond(
             writer, 200, body, METRICS_CONTENT_TYPE, keep_alive
+        )
+        return keep_alive
+
+    async def _serve_debug(
+        self,
+        writer: asyncio.StreamWriter,
+        path: str,
+        query: str,
+        keep_alive: bool,
+    ) -> bool:
+        """Route one ``/debug/*`` request (all GET, all operator-facing)."""
+        params = parse_qs(query, keep_blank_values=False)
+
+        def _int_param(name: str, default: Optional[int]) -> Optional[int]:
+            values = params.get(name)
+            if not values:
+                return default
+            return int(values[0])
+
+        try:
+            if path == "/debug/events":
+                n = _int_param("n", None)
+                kind = params.get("kind", [None])[0]
+                events = self._events()
+                await self._respond_json(
+                    writer,
+                    200,
+                    {
+                        "events": events.tail(n=n, kind=kind),
+                        "buffered": len(events),
+                        "dropped": events.dropped,
+                    },
+                    keep_alive,
+                )
+                return keep_alive
+            if path == "/debug/slow":
+                n = _int_param("n", None)
+                slow = self.service.slow
+                await self._respond_json(
+                    writer,
+                    200,
+                    {
+                        "requests": slow.worst(n),
+                        "threshold_seconds": slow.threshold_seconds,
+                        "captured": slow.captured,
+                    },
+                    keep_alive,
+                )
+                return keep_alive
+            if path == "/debug/vars":
+                await self._respond_json(
+                    writer,
+                    200,
+                    dict(self.service.registry.snapshot()),
+                    keep_alive,
+                )
+                return keep_alive
+            if path == "/debug/profile":
+                seconds = float(params.get("seconds", ["1"])[0])
+                return await self._serve_profile(writer, seconds, keep_alive)
+        except (ValueError, TypeError) as error:
+            await self._respond_json(
+                writer, 400, {"error": f"bad query parameter: {error}"},
+                keep_alive,
+            )
+            return keep_alive
+        await self._respond_json(
+            writer, 404, {"error": f"no such endpoint: {path}"}, keep_alive
+        )
+        return keep_alive
+
+    async def _serve_profile(
+        self, writer: asyncio.StreamWriter, seconds: float, keep_alive: bool
+    ) -> bool:
+        """Run one sampling-profiler pass and serve its collapsed stacks.
+
+        The blocking sample window runs in the executor so the event
+        loop keeps serving /health and /metrics throughout; the cap
+        keeps one curl from pinning the sampler for minutes.
+        """
+        if not 0 < seconds <= 60:
+            await self._respond_json(
+                writer,
+                400,
+                {"error": "seconds must be in (0, 60]"},
+                keep_alive,
+            )
+            return keep_alive
+        loop = asyncio.get_event_loop()
+        try:
+            report = await loop.run_in_executor(
+                None, self._profiler.profile, seconds
+            )
+        except RuntimeError:
+            await self._respond_json(
+                writer,
+                503,
+                {"error": "a profiling run is already active"},
+                keep_alive,
+            )
+            return keep_alive
+        header = (
+            f"# samples: {report.samples} seconds: {report.seconds:.3f} "
+            f"interval: {report.interval_seconds}\n"
+        )
+        await self._respond(
+            writer,
+            200,
+            (header + report.collapsed()).encode("utf-8"),
+            "text/plain; charset=utf-8",
+            keep_alive,
         )
         return keep_alive
 
@@ -507,6 +684,7 @@ class HttpServer:
                 items.append(parsed)
                 continue
             parsed.arrived_at = time.perf_counter()
+            parsed.client = "http"  # origin tag for the event log
             try:
                 # The queue-space wait blocks: executor.
                 pending = await loop.run_in_executor(

@@ -39,7 +39,7 @@ from .._rng import SeedLike
 from ..detection import DetectionResult
 from ..detectors.session import GraphSession
 from ..errors import ConfigurationError, ServingError
-from ..observability import MetricsRegistry
+from ..observability import NULL_EVENT_LOG, EventLog, MetricsRegistry
 from .fingerprint import graph_fingerprint
 
 __all__ = ["ManagerStats", "SessionManager"]
@@ -221,6 +221,11 @@ class SessionManager:
         ``"warm"`` (resident session reused), ``"store"`` (this
         request was served from persisted artifacts), or
         ``"compiled"`` (full cold start).
+    events:
+        The :class:`~repro.observability.EventLog` receiving
+        ``session_evicted`` events (reason ``capacity`` for LRU /
+        memory-budget sheds, ``explicit`` for :meth:`evict`); defaults
+        to the inert :data:`~repro.observability.NULL_EVENT_LOG`.
 
     The manager is a context manager; :meth:`close` evicts everything
     (the store, if any, persists — it is the part that outlives the
@@ -238,6 +243,7 @@ class SessionManager:
         shipping: str = "auto",
         registry: Optional[MetricsRegistry] = None,
         store: "Optional[GraphStore]" = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if max_sessions < 1:
             raise ConfigurationError(
@@ -251,6 +257,7 @@ class SessionManager:
         self.max_memory_bytes = max_memory_bytes
         self.store = store
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.events = events if events is not None else NULL_EVENT_LOG
         self._session_kwargs: Dict[str, Any] = {
             "workers": workers,
             "backend": backend,
@@ -375,7 +382,7 @@ class SessionManager:
                         save_needed = entry.pending_save
                         entry.pending_save = False
             finally:
-                self._close_entries(evicted)
+                self._close_entries(evicted, reason="capacity")
             if lost_race:
                 # Undo the losing iteration's cache-outcome count —
                 # whether we retry or fail, this request must not stay
@@ -428,7 +435,7 @@ class SessionManager:
             if self._closed:
                 raise ServingError("SessionManager is closed")
             entry, _ = self._resolve(graph, evicted, stored)
-        self._close_entries(evicted)
+        self._close_entries(evicted, reason="capacity")
         return entry.session
 
     def warm(self, fingerprint: str) -> bool:
@@ -464,7 +471,7 @@ class SessionManager:
                 self._bind(fingerprint, stored, source="store")
                 self._metrics.prewarmed.inc()
                 self._shed(evicted)
-        self._close_entries(evicted)
+        self._close_entries(evicted, reason="capacity")
         return True
 
     # ------------------------------------------------------------------
@@ -590,12 +597,26 @@ class SessionManager:
             evicted.append(entry)
             self._metrics.evictions.inc()
 
-    @staticmethod
-    def _close_entries(entries: List[_Entry]) -> None:
+    def _close_entries(
+        self, entries: List[_Entry], reason: Optional[str] = None
+    ) -> None:
+        """Shut down evicted entries (manager lock NOT held).
+
+        ``reason`` (``capacity`` / ``explicit``) emits one
+        ``session_evicted`` event per entry; ``None`` (manager close)
+        stays silent — ``server_stop`` already records the teardown.
+        """
         for entry in entries:
             with entry.lock:
                 if not entry.session.closed:
                     entry.session.close()
+            if reason is not None:
+                self.events.emit(
+                    "session_evicted",
+                    fingerprint=entry.fingerprint,
+                    reason=reason,
+                    served=entry.served,
+                )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -608,7 +629,7 @@ class SessionManager:
                 self._metrics.evictions.inc()
         if entry is None:
             return False
-        self._close_entries([entry])
+        self._close_entries([entry], reason="explicit")
         return True
 
     def close(self) -> None:

@@ -54,7 +54,7 @@ from ..errors import (
     QueueFull,
     ServingError,
 )
-from ..observability import MetricsRegistry
+from ..observability import NULL_EVENT_LOG, EventLog, MetricsRegistry
 
 __all__ = [
     "ServeRequest",
@@ -65,6 +65,16 @@ __all__ = [
 
 #: Worker-loop shutdown marker.
 _SENTINEL = None
+
+
+def _request_fields(request: "ServeRequest") -> Dict[str, Any]:
+    """The forensic identity of a request, for event-log emissions."""
+    return {
+        "request_id": request.id,
+        "trace": getattr(request.trace, "trace_id", None),
+        "client": request.client,
+        "algorithm": request.algorithm,
+    }
 
 #: Carry-slot marker: "no dequeued item is waiting to be processed".
 _EMPTY = object()
@@ -122,6 +132,10 @@ class ServeRequest:
         the request; the queue worker records its ``queue_wait`` span,
         downstream layers add theirs, and the service echoes the whole
         trace in the response annotation.
+    client:
+        Optional origin tag for the event log (a socket client name,
+        ``"http"``, or ``None`` for inline/batch callers) — forensics
+        only, never part of the detect semantics.
     """
 
     graph: Any
@@ -132,6 +146,7 @@ class ServeRequest:
     deadline_seconds: Optional[float] = None
     arrived_at: Optional[float] = None
     trace: Optional[Any] = None
+    client: Optional[str] = None
 
 
 class _QueueMetrics:
@@ -306,6 +321,11 @@ class ServingQueue:
         histogram).  ``None`` creates a private registry; a serving
         stack wires one shared registry through all of its layers so
         ``GET /metrics`` sees everything.
+    events:
+        The :class:`~repro.observability.EventLog` receiving discrete
+        ``deadline_shed`` and ``queue_rejected`` events.  Defaults to
+        the inert :data:`~repro.observability.NULL_EVENT_LOG`; a
+        serving stack wires its one shared log through here.
     """
 
     def __init__(
@@ -315,6 +335,7 @@ class ServingQueue:
         max_depth: int = 64,
         coalesce: int = 8,
         registry: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -327,6 +348,7 @@ class ServingQueue:
         self.max_depth = max_depth
         self.coalesce = coalesce
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.events = events if events is not None else NULL_EVENT_LOG
         self._queue: "_queue.Queue" = _queue.Queue(maxsize=max_depth)
         self._lock = threading.Lock()
         # Space waiters (blocking submitters) park here; workers notify
@@ -376,6 +398,9 @@ class ServingQueue:
         item = (request, future, arrived)
         if not self._try_enqueue(item):
             self._metrics.rejected_full.inc()
+            self.events.emit(
+                "queue_rejected", reason="full", **_request_fields(request)
+            )
             raise QueueFull(
                 f"serving queue is at max_depth={self.max_depth}; "
                 "retry later or raise the depth",
@@ -415,6 +440,11 @@ class ServingQueue:
             while True:
                 if self._closed:
                     self._metrics.rejected_closed.inc()
+                    self.events.emit(
+                        "queue_rejected",
+                        reason="closed",
+                        **_request_fields(request),
+                    )
                     raise ServingError(
                         "cannot submit to a closed ServingQueue"
                     )
@@ -428,6 +458,11 @@ class ServingQueue:
                     )
                     if remaining is not None and remaining <= 0:
                         self._metrics.rejected_full.inc()
+                        self.events.emit(
+                            "queue_rejected",
+                            reason="full",
+                            **_request_fields(request),
+                        )
                         raise QueueFull(
                             "serving queue stayed at max_depth="
                             f"{self.max_depth} for {timeout}s",
@@ -453,6 +488,11 @@ class ServingQueue:
         with self._lock:
             if self._closed:
                 self._metrics.rejected_closed.inc()
+                self.events.emit(
+                    "queue_rejected",
+                    reason="closed",
+                    **_request_fields(item[0]),
+                )
                 raise ServingError("cannot submit to a closed ServingQueue")
             try:
                 self._queue.put_nowait(item)
@@ -462,16 +502,23 @@ class ServingQueue:
             self._metrics.peak_depth.set_max(self._queue.qsize())
         return True
 
-    def note_admission_expired(self) -> None:
+    def note_admission_expired(
+        self, request: Optional[ServeRequest] = None
+    ) -> None:
         """Count a deadline shed that happened *before* the queue.
 
         A front-end that holds requests in its own admission stage (the
         socket server) sheds dead-on-arrival requests without spending a
         queue slot on them; reporting the shed here keeps the whole
         expired story — pre-queue and in-queue — on one instrument,
-        split by the ``stage`` label.
+        split by the ``stage`` label, and in one event vocabulary.
+        Passing the shed request attaches its identity to the event.
         """
         self._metrics.expired_admission.inc()
+        fields = _request_fields(request) if request is not None else {}
+        if request is not None:
+            fields["deadline_seconds"] = request.deadline_seconds
+        self.events.emit("deadline_shed", stage="admission", **fields)
 
     def detect(
         self,
@@ -569,6 +616,13 @@ class ServingQueue:
                 # result any more, so the detect must not run.
                 # Counted before resolving, like completed/failed.
                 self._metrics.expired_queue.inc()
+                self.events.emit(
+                    "deadline_shed",
+                    stage="queue",
+                    deadline_seconds=deadline,
+                    waited_seconds=round(wait_seconds, 6),
+                    **_request_fields(request),
+                )
                 future.set_exception(
                     DeadlineExceeded(
                         f"deadline of {deadline}s exceeded after "

@@ -59,7 +59,7 @@ from concurrent.futures import CancelledError
 from typing import Any, Dict, Optional, Set
 
 from ..errors import ConfigurationError, DeadlineExceeded, QueueFull, ServingError
-from ..observability import MetricsRegistry
+from ..observability import NULL_EVENT_LOG, MetricsRegistry
 from .service import ServingService, error_response
 
 __all__ = ["ServerStats", "ServingServer", "ServerHandle", "start_server_thread"]
@@ -341,6 +341,9 @@ class ServingServer:
             limit=self.max_line_bytes,
         )
         self._admission_task = asyncio.ensure_future(self._admission_loop())
+        self._events().emit(
+            "server_start", front_end="socket", host=self.host, port=self.port
+        )
 
     async def wait_stopped(self) -> None:
         """Block until :meth:`stop` has completed (the serve loop)."""
@@ -382,8 +385,17 @@ class ServingServer:
             self._admission_wake.set()
         if self._admission_task is not None:
             await self._admission_task
+        self._events().emit(
+            "server_stop", front_end="socket", host=self.host, port=self.port
+        )
         if self._stopped is not None:
             self._stopped.set()
+
+    def _events(self):
+        """The service's event log (inert when the stack has none)."""
+        # `is None`, not truthiness: an *empty* EventLog is falsy.
+        events = getattr(self.service, "events", None)
+        return NULL_EVENT_LOG if events is None else events
 
     def close(self) -> None:
         """Close the owned service (drains its queue); not the listener.
@@ -435,6 +447,9 @@ class ServingServer:
                 )
                 self._metrics.requests.inc()
                 slot = _Slot()
+                if not isinstance(parsed, dict):
+                    # Tag the request's origin for the event log.
+                    parsed.client = client.name
                 if isinstance(parsed, dict):
                     slot.resolve_error(parsed)
                 elif client.outstanding >= self.max_inflight_per_client:
@@ -582,7 +597,7 @@ class ServingServer:
                     # never saw this request, so report the pre-shed to
                     # its admission-stage expiry counter explicitly.
                     self._metrics.deadline_expired.inc()
-                    self.service.queue.note_admission_expired()
+                    self.service.queue.note_admission_expired(slot.request)
                     slot.resolve_error(
                         error_response(
                             slot.request.id,

@@ -52,7 +52,15 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ConfigurationError, QueueFull, ServingError
 from ..graph import Graph, read_edge_list
-from ..observability import MetricsRegistry, new_trace
+from ..observability import (
+    NULL_EVENT_LOG,
+    EventLog,
+    MetricsRegistry,
+    NullEventLog,
+    SloTracker,
+    SlowRequestLog,
+    new_trace,
+)
 from .manager import SessionManager
 from .queue import ServeRequest, ServingQueue, validate_deadline_seconds
 
@@ -95,6 +103,8 @@ class _Pending:
     depth_at_submit: int
     done_at: Optional[float] = None
     trace: Optional[Any] = None
+    client: Optional[str] = None
+    algorithm: Optional[str] = None
 
 
 class _ServiceMetrics:
@@ -160,6 +170,27 @@ class ServingService:
         front-end (socket / HTTP) serving from this service all publish
         here, so one ``GET /metrics`` scrape sees every layer.  Default:
         a caller-supplied manager's registry, else a fresh one.
+    events / event_capacity / access_log_path / access_log_max_bytes:
+        The structured-event pipeline.  ``events`` supplies an existing
+        :class:`~repro.observability.EventLog`; otherwise the service
+        adopts a caller-supplied manager's log or builds its own with
+        ``event_capacity`` ring slots (``0`` disables events entirely —
+        the inert :data:`~repro.observability.NULL_EVENT_LOG`) and, when
+        ``access_log_path`` is set, a rotating JSONL file sink
+        (``access_log_max_bytes`` bounds each file).  The one log is
+        wired through the queue, manager, store, and both front-ends —
+        every request and every operational event lands in one place.
+    slo:
+        Optional service-level objectives: an ``--slo`` grammar string
+        (``"p99:0.5s,availability:99.9"``) or a pre-built
+        :class:`~repro.observability.SloTracker`.  Every rendered
+        response feeds it; the tracker exports ``repro_slo_*`` gauges
+        on this service's registry.
+    slow_threshold_seconds / slow_capacity:
+        Slow-request forensics: responses at or above the threshold
+        keep their full trace, engine stats, and queue context in a
+        bounded worst-``slow_capacity`` table (``GET /debug/slow``).
+        ``None`` disables capture; ``0.0`` captures everything.
     """
 
     def __init__(
@@ -181,6 +212,13 @@ class ServingService:
         store_dir: Optional[str] = None,
         store_limit_bytes: Optional[int] = None,
         store_warm: Optional[int] = None,
+        events: Optional[EventLog] = None,
+        event_capacity: int = 1024,
+        access_log_path: Optional[str] = None,
+        access_log_max_bytes: Optional[int] = None,
+        slo: Optional[Any] = None,
+        slow_threshold_seconds: Optional[float] = None,
+        slow_capacity: int = 32,
     ) -> None:
         self.submit_timeout_seconds = submit_timeout_seconds
         self._owns_manager = manager is None
@@ -200,13 +238,41 @@ class ServingService:
             # may not carry one.
             registry = getattr(manager, "registry", None) or MetricsRegistry()
         self.registry = registry
+        self._owns_events = False
+        if events is None:
+            # Adopt a supplied manager's event log for the same reason
+            # the registry is adopted: one stack, one flight recorder.
+            events = getattr(manager, "events", None)
+        if events is None:
+            if event_capacity > 0:
+                events = EventLog(
+                    capacity=event_capacity,
+                    sink_path=access_log_path,
+                    sink_max_bytes=access_log_max_bytes,
+                    registry=registry,
+                )
+                self._owns_events = True
+            else:
+                events = NULL_EVENT_LOG
+        self.events = events
+        self.slo: Optional[SloTracker] = (
+            SloTracker(slo, registry=registry)
+            if isinstance(slo, str)
+            else slo
+        )
+        self.slow = SlowRequestLog(
+            limit=slow_capacity, threshold_seconds=slow_threshold_seconds
+        )
         if store_dir is not None:
             # Imported lazily: repro.store imports from repro.serving,
             # so a module-level import here would be a cycle.
             from ..store import GraphStore
 
             store = GraphStore(
-                store_dir, max_bytes=store_limit_bytes, registry=registry
+                store_dir,
+                max_bytes=store_limit_bytes,
+                registry=registry,
+                events=self.events,
             )
         # Explicit None-check: SessionManager defines __len__, so a
         # caller's freshly-built (empty) manager is *falsy* and a bare
@@ -221,6 +287,7 @@ class ServingService:
             shipping=shipping,
             registry=registry,
             store=store,
+            events=self.events,
         )
         self.store = getattr(self.manager, "store", None)
         self.warmed: List[str] = []
@@ -240,6 +307,7 @@ class ServingService:
             max_depth=max_depth,
             coalesce=coalesce,
             registry=registry,
+            events=self.events,
         )
         self._metrics = _ServiceMetrics(registry)
         self._graph_cache: "OrderedDict[str, Tuple[Tuple[int, int], Graph]]" = (
@@ -386,6 +454,8 @@ class ServingService:
             submitted_at=time.perf_counter(),
             depth_at_submit=depth,
             trace=request.trace,
+            client=request.client,
+            algorithm=request.algorithm,
         )
         future.add_done_callback(
             lambda _f, p=pending: setattr(p, "done_at", time.perf_counter())
@@ -517,7 +587,65 @@ class ServingService:
             self._metrics.responses_ok.inc()
         else:
             self._metrics.responses_error.inc()
+        self._observe_response(item, response)
         return response
+
+    def _observe_response(
+        self,
+        item: "Union[_Pending, Dict[str, Any]]",
+        response: Dict[str, Any],
+    ) -> None:
+        """Feed one rendered response to the forensic pipeline.
+
+        Runs in the one per-response funnel, so the event log, the SLO
+        account, and the slow-request table see *every* response from
+        every front-end.  All three default off (inert log, no tracker,
+        no threshold), in which case this is a handful of cheap checks.
+        """
+        ok = bool(response.get("ok"))
+        latency = response.get("latency_seconds")
+        if latency is None and not isinstance(item, dict):
+            # Errors out of the queue still have a measurable wait.
+            latency = (
+                item.done_at or time.perf_counter()
+            ) - item.submitted_at
+        if self.slo is not None:
+            self.slo.observe(latency if latency is not None else 0.0, ok=ok)
+        if isinstance(self.events, NullEventLog) and not self.slow.enabled:
+            return
+        trace = response.get("trace") or {}
+        spans = trace.get("spans", {})
+        client = None if isinstance(item, dict) else item.client
+        event_fields: Dict[str, Any] = {
+            "request_id": response.get("id"),
+            "trace": trace.get("id"),
+            "client": client if client is not None else "inline",
+            "fingerprint": response.get("fingerprint"),
+            "algorithm": response.get("algorithm")
+            if ok
+            else (None if isinstance(item, dict) else item.algorithm),
+            "status": "ok" if ok else "error",
+            "session_source": response.get("session_source"),
+            "coalesce_batch": trace.get("coalesce_batch"),
+            "latency_seconds": None
+            if latency is None
+            else round(latency, 6),
+            "spans": spans,
+        }
+        if not ok:
+            event_fields["error"] = response.get("error")
+        self.events.emit("request", **event_fields)
+        if (
+            self.slow.enabled
+            and latency is not None
+            and latency >= (self.slow.threshold_seconds or 0.0)
+        ):
+            record = dict(event_fields)
+            record["trace_export"] = trace
+            record["stats"] = response.get("stats", {})
+            record["queue_depth_at_submit"] = response.get("queue_depth")
+            record["queue_depth_now"] = self.queue.depth
+            self.slow.note(latency, record)
 
     # Pre-socket-front-end name, kept for downstream callers.
     _emit = render_response
@@ -577,6 +705,8 @@ class ServingService:
         self.queue.close(drain=True)
         if self._owns_manager:
             self.manager.close()
+        if self._owns_events:
+            self.events.close()
 
     def __enter__(self) -> "ServingService":
         return self

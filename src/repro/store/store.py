@@ -74,7 +74,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..graph.csr import CompiledGraph, compile_graph
-from ..observability import MetricsRegistry
+from ..observability import NULL_EVENT_LOG, MetricsRegistry
 from ..serving.fingerprint import graph_fingerprint
 
 __all__ = ["GraphStore", "StoreStats", "STORE_FORMAT_VERSION"]
@@ -259,6 +259,11 @@ class GraphStore:
         The :class:`~repro.observability.MetricsRegistry` the store
         publishes hit/miss/save/byte counters and load/save-seconds
         histograms into; ``None`` creates a private one.
+    events:
+        The :class:`~repro.observability.EventLog` receiving a
+        ``store_corrupt`` event whenever a persisted entry fails
+        validation and is discarded (the caller recompiles); defaults
+        to the inert :data:`~repro.observability.NULL_EVENT_LOG`.
     """
 
     def __init__(
@@ -266,6 +271,7 @@ class GraphStore:
         root,
         max_bytes: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        events: Optional[Any] = None,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ConfigurationError(
@@ -279,6 +285,7 @@ class GraphStore:
         self._access_path = self.root / "access.json"
         self._access_lock = threading.Lock()
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.events = events if events is not None else NULL_EVENT_LOG
         self._metrics = _StoreMetrics(self, self.registry)
         self.stats = StoreStats(self._metrics)
 
@@ -552,6 +559,12 @@ class GraphStore:
                 RuntimeWarning,
             )
             self._metrics.corrupt.inc()
+            self.events.emit(
+                "store_corrupt",
+                fingerprint=fingerprint,
+                reason=str(reason),
+                fallback="recompile",
+            )
             try:
                 manifest_path.unlink()
             except OSError:

@@ -1,0 +1,169 @@
+"""Discrete events reach the shared log from every serving component.
+
+The request event itself is covered by the HTTP/service suites; this
+module exercises the *exceptional* vocabulary — evictions, rejections,
+deadline sheds, store corruption — each forced deterministically on the
+component that emits it, all landing in one :class:`EventLog`.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    GraphStore,
+    ServeRequest,
+    ServingQueue,
+    SessionManager,
+    graph_fingerprint,
+)
+from repro.errors import DeadlineExceeded, QueueFull
+from repro.generators import ring_of_cliques
+from repro.observability import EventLog
+
+
+@pytest.fixture()
+def log():
+    return EventLog(capacity=64)
+
+
+def _graph(cliques=3):
+    g, _ = ring_of_cliques(cliques, 4)
+    return g
+
+
+class _BlockingManager:
+    """detect() blocks until released — fills the queue deterministically."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def detect(self, graph, algorithm, seed=None, **params):
+        self.started.set()
+        self.release.wait(timeout=30)
+
+        class _Result:
+            stats = {}
+            cover = graph
+
+        return _Result()
+
+
+class TestSessionEvents:
+    def test_capacity_eviction_emits_with_fingerprint(self, log):
+        first, second = _graph(3), _graph(4)
+        with SessionManager(max_sessions=1, events=log) as manager:
+            manager.detect(first, "oca", seed=0)
+            manager.detect(second, "oca", seed=0)
+        evictions = log.tail(kind="session_evicted")
+        assert len(evictions) == 1
+        assert evictions[0]["reason"] == "capacity"
+        assert evictions[0]["fingerprint"] == graph_fingerprint(first)
+        assert evictions[0]["served"] == 1
+
+    def test_explicit_eviction_reason(self, log):
+        graph = _graph()
+        with SessionManager(max_sessions=2, events=log) as manager:
+            manager.detect(graph, "oca", seed=0)
+            assert manager.evict(graph_fingerprint(graph))
+        evictions = log.tail(kind="session_evicted")
+        assert len(evictions) == 1
+        assert evictions[0]["reason"] == "explicit"
+
+    def test_close_is_event_silent(self, log):
+        with SessionManager(max_sessions=2, events=log) as manager:
+            manager.detect(_graph(), "oca", seed=0)
+        # Teardown is not an eviction: server_stop covers it.
+        assert log.tail(kind="session_evicted") == []
+
+
+class TestQueueEvents:
+    def test_full_queue_emits_queue_rejected(self, log):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=1, events=log)
+        try:
+            queue.submit(ServeRequest(graph="g", client="c1"))
+            manager.started.wait(timeout=30)
+            queue.submit(ServeRequest(graph="g"))  # fills the queue
+            with pytest.raises(QueueFull):
+                queue.submit(ServeRequest(graph="g", client="c1"))
+        finally:
+            manager.release.set()
+            queue.close()
+        rejected = log.tail(kind="queue_rejected")
+        assert len(rejected) == 1
+        assert rejected[0]["reason"] == "full"
+        assert rejected[0]["client"] == "c1"
+
+    def test_queued_deadline_shed_emits_stage_queue(self, log):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=4, events=log)
+        try:
+            queue.submit(ServeRequest(graph="g"))
+            manager.started.wait(timeout=30)
+            doomed = queue.submit(
+                ServeRequest(graph="g", deadline_seconds=0.05)
+            )
+            time.sleep(0.2)  # the deadline passes while queued
+            manager.release.set()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=30)
+        finally:
+            manager.release.set()
+            queue.close()
+        sheds = log.tail(kind="deadline_shed")
+        assert len(sheds) == 1
+        assert sheds[0]["stage"] == "queue"
+        assert sheds[0]["deadline_seconds"] == 0.05
+        assert sheds[0]["waited_seconds"] >= 0.05
+
+    def test_admission_shed_emits_stage_admission(self, log):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=4, events=log)
+        try:
+            request = ServeRequest(
+                graph="g", deadline_seconds=0.01, client="edge"
+            )
+            queue.note_admission_expired(request)
+        finally:
+            manager.release.set()
+            queue.close()
+        sheds = log.tail(kind="deadline_shed")
+        assert len(sheds) == 1
+        assert sheds[0]["stage"] == "admission"
+        assert sheds[0]["client"] == "edge"
+
+    def test_closed_queue_emits_queue_rejected_closed(self, log):
+        manager = _BlockingManager()
+        queue = ServingQueue(manager, workers=1, max_depth=4, events=log)
+        manager.release.set()
+        queue.close()
+        with pytest.raises(Exception):
+            queue.submit(ServeRequest(graph="g"))
+        rejected = log.tail(kind="queue_rejected")
+        assert len(rejected) == 1
+        assert rejected[0]["reason"] == "closed"
+
+
+class TestStoreEvents:
+    def test_corrupt_entry_emits_store_corrupt(self, log, tmp_path):
+        graph = _graph()
+        store = GraphStore(tmp_path / "store", events=log)
+        store.save(graph)
+        fingerprint = graph_fingerprint(graph)
+        payload = (
+            store.root
+            / fingerprint[:2]
+            / store.manifest(fingerprint)["payload"]
+        )
+        target = payload / "indices.npy"
+        target.write_bytes(target.read_bytes()[:-8])
+        with pytest.warns(RuntimeWarning):
+            assert store.load(fingerprint) is None
+        events = log.tail(kind="store_corrupt")
+        assert len(events) == 1
+        assert events[0]["fingerprint"] == fingerprint
+        assert events[0]["fallback"] == "recompile"
+        assert events[0]["reason"]

@@ -1,0 +1,199 @@
+"""EventLog / SlowRequestLog unit contract: ring, sink, forensics."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import (
+    NULL_EVENT_LOG,
+    EventLog,
+    MetricsRegistry,
+    NullEventLog,
+    SlowRequestLog,
+)
+
+
+# ----------------------------------------------------------------------
+# Ring buffer
+# ----------------------------------------------------------------------
+class TestRing:
+    def test_emit_stamps_envelope_and_keeps_order(self):
+        log = EventLog(capacity=8)
+        log.emit("request", request_id="a")
+        log.emit("session_evicted", fingerprint="f1")
+        events = log.tail()
+        assert [e["kind"] for e in events] == ["request", "session_evicted"]
+        assert events[0]["seq"] == 1
+        assert events[1]["seq"] == 2
+        for event in events:
+            assert event["ts"] > 0
+            assert event["pid"] > 0
+
+    def test_drop_oldest_when_full_and_counts_drops(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("request", request_id=i)
+        events = log.tail()
+        assert [e["request_id"] for e in events] == [2, 3, 4]
+        assert log.dropped == 2
+        assert len(log) == 3
+
+    def test_tail_bounds_and_kind_filter(self):
+        log = EventLog(capacity=16)
+        for i in range(4):
+            log.emit("request", request_id=i)
+        log.emit("store_corrupt", fingerprint="f")
+        assert len(log.tail(n=2)) == 2
+        assert log.tail(n=2)[-1]["kind"] == "store_corrupt"
+        only = log.tail(kind="store_corrupt")
+        assert len(only) == 1 and only[0]["fingerprint"] == "f"
+
+    def test_tail_returns_copies(self):
+        log = EventLog(capacity=4)
+        log.emit("request", request_id="a")
+        log.tail()[0]["request_id"] = "tampered"
+        assert log.tail()[0]["request_id"] == "a"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=0)
+
+    def test_concurrent_emit_is_safe_and_lossless_within_capacity(self):
+        log = EventLog(capacity=4096)
+
+        def spin(worker):
+            for i in range(200):
+                log.emit("request", worker=worker, i=i)
+
+        threads = [
+            threading.Thread(target=spin, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = log.tail()
+        assert len(events) == 1600
+        assert log.dropped == 0
+        # seq is globally unique and monotone in emission order.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 1600
+
+
+# ----------------------------------------------------------------------
+# JSONL sink + rotation
+# ----------------------------------------------------------------------
+class TestSink:
+    def test_sink_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with EventLog(capacity=8, sink_path=path) as log:
+            log.emit("request", request_id="a", status="ok")
+            log.emit("server_stop", front_end="http")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "request"
+        assert first["request_id"] == "a"
+
+    def test_rotation_moves_full_file_aside(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with EventLog(capacity=64, sink_path=path,
+                      sink_max_bytes=1024) as log:
+            for i in range(50):
+                log.emit("request", request_id=i, pad="x" * 64)
+        rotated = tmp_path / "access.jsonl.1"
+        assert rotated.exists()
+        assert path.exists()
+        # Every line in both files is still valid JSON.
+        for f in (rotated, path):
+            for line in f.read_text().splitlines():
+                json.loads(line)
+
+    def test_sink_max_bytes_requires_sink_path(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=8, sink_max_bytes=4096)
+
+    def test_non_serializable_fields_degrade_to_repr(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with EventLog(capacity=8, sink_path=path) as log:
+            log.emit("request", payload=object())
+        assert "object object" in path.read_text()
+
+    def test_metrics_count_events_and_sink_bytes(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "access.jsonl"
+        with EventLog(capacity=2, sink_path=path, registry=registry) as log:
+            for i in range(3):
+                log.emit("request", request_id=i)
+            log.emit("deadline_shed", stage="queue")
+        snap = registry.snapshot()
+        assert snap['repro_events_total{kind="request"}'] == 3.0
+        assert snap['repro_events_total{kind="deadline_shed"}'] == 1.0
+        assert snap["repro_events_dropped_total"] == 2.0
+        assert snap["repro_events_sink_bytes_total"] == float(
+            path.stat().st_size
+        )
+
+
+# ----------------------------------------------------------------------
+# Null twin
+# ----------------------------------------------------------------------
+class TestNullEventLog:
+    def test_null_log_accepts_everything_and_stores_nothing(self):
+        NULL_EVENT_LOG.emit("request", request_id="x")
+        assert NULL_EVENT_LOG.tail() == []
+        assert len(NULL_EVENT_LOG) == 0
+        assert NULL_EVENT_LOG.dropped == 0
+        NULL_EVENT_LOG.close()  # never raises
+
+    def test_null_log_is_an_event_log(self):
+        assert isinstance(NULL_EVENT_LOG, NullEventLog)
+        assert isinstance(NULL_EVENT_LOG, EventLog)
+
+
+# ----------------------------------------------------------------------
+# SlowRequestLog
+# ----------------------------------------------------------------------
+class TestSlowRequestLog:
+    def test_disabled_without_threshold(self):
+        slow = SlowRequestLog()
+        assert not slow.enabled
+        assert slow.note(10.0, {"request_id": "a"}) is False
+        assert slow.worst() == []
+
+    def test_zero_threshold_captures_everything(self):
+        slow = SlowRequestLog(threshold_seconds=0.0)
+        assert slow.enabled
+        assert slow.note(0.0, {"request_id": "a"})
+        assert slow.captured == 1
+
+    def test_keeps_worst_n_sorted_slowest_first(self):
+        slow = SlowRequestLog(limit=3, threshold_seconds=0.1)
+        for i, latency in enumerate([0.5, 0.2, 0.9, 0.3, 0.7]):
+            slow.note(latency, {"request_id": i})
+        worst = slow.worst()
+        assert [r["latency_seconds"] for r in worst] == [0.9, 0.7, 0.5]
+        assert slow.captured == 5
+
+    def test_below_threshold_is_not_captured(self):
+        slow = SlowRequestLog(limit=4, threshold_seconds=1.0)
+        assert slow.note(0.5, {"request_id": "fast"}) is False
+        assert slow.captured == 0
+
+    def test_records_are_copied_and_annotated(self):
+        slow = SlowRequestLog(limit=2, threshold_seconds=0.0)
+        record = {"request_id": "a"}
+        slow.note(0.25, record)
+        record["request_id"] = "tampered"
+        stored = slow.worst()[0]
+        assert stored["request_id"] == "a"
+        assert stored["latency_seconds"] == 0.25
+
+    def test_worst_n_bound(self):
+        slow = SlowRequestLog(limit=8, threshold_seconds=0.0)
+        for i in range(5):
+            slow.note(float(i), {"request_id": i})
+        assert len(slow.worst(2)) == 2

@@ -1,0 +1,86 @@
+"""Sampling profiler unit contract: capture, collapse, exclusivity."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import ProfileReport, SamplingProfiler
+
+
+def _busy_wheel(stop_event):
+    """A worker with a recognisable frame to find in the samples."""
+    while not stop_event.is_set():
+        sum(i * i for i in range(2000))
+
+
+class TestSamplingProfiler:
+    def test_profile_samples_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=_busy_wheel, args=(stop,), name="busy-wheel", daemon=True
+        )
+        worker.start()
+        try:
+            report = SamplingProfiler(interval_seconds=0.001).profile(0.3)
+        finally:
+            stop.set()
+            worker.join()
+        assert report.samples > 0
+        assert report.seconds >= 0.3
+        text = report.collapsed()
+        assert "busy-wheel" in text
+        assert "_busy_wheel" in text
+
+    def test_collapsed_lines_are_stack_space_count(self):
+        report = SamplingProfiler(interval_seconds=0.002).profile(0.05)
+        for line in report.collapsed().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack  # at least "thread-name"
+            assert int(count) >= 1
+
+    def test_collapsed_orders_heaviest_first(self):
+        report = ProfileReport(
+            stacks={"main;a.py:f": 2, "main;a.py:g": 7, "io;b.py:h": 4},
+            samples=13,
+            seconds=1.0,
+            interval_seconds=0.005,
+        )
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in report.collapsed().splitlines()
+        ]
+        assert counts == [7, 4, 2]
+
+    def test_empty_report_collapses_to_empty_string(self):
+        report = ProfileReport(
+            stacks={}, samples=0, seconds=0.0, interval_seconds=0.005
+        )
+        assert report.collapsed() == ""
+
+    def test_only_one_run_at_a_time(self):
+        profiler = SamplingProfiler(interval_seconds=0.005)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+            with pytest.raises(RuntimeError):
+                profiler.profile(0.05)
+        finally:
+            report = profiler.stop()
+        assert report.seconds >= 0.0
+        # After stop() a fresh run is allowed again.
+        profiler.profile(0.02)
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            SamplingProfiler().stop()
+
+    def test_profile_rejects_non_positive_duration(self):
+        with pytest.raises(ConfigurationError):
+            SamplingProfiler().profile(0.0)
+
+    def test_profiler_excludes_its_own_sampling_thread(self):
+        report = SamplingProfiler(interval_seconds=0.001).profile(0.1)
+        assert "repro-profiler" not in report.collapsed()

@@ -226,3 +226,61 @@ class TestNullRegistry:
         family.labels(k="x").inc()
         assert NULL_REGISTRY.render() == ""
         assert NULL_REGISTRY.snapshot() == {}
+
+
+class TestThreadStorm:
+    def test_concurrent_render_under_mutation(self):
+        """Scrapes must survive a write storm: concurrent render() and
+        snapshot() while counters increment, gauges move, histograms
+        observe, and *new* label children appear — no exceptions, and
+        every successive read of one counter is monotone."""
+        registry = MetricsRegistry()
+        counter = registry.counter("storm_total", "storm writes")
+        labeled = registry.counter(
+            "storm_labeled_total", "storm labeled writes",
+            labelnames=("worker",),
+        )
+        gauge = registry.gauge("storm_gauge", "storm gauge")
+        histogram = registry.histogram("storm_seconds", "storm latencies")
+        stop = threading.Event()
+        errors = []
+
+        def write(worker):
+            i = 0
+            try:
+                while not stop.is_set():
+                    counter.inc()
+                    labeled.labels(worker=f"w{worker}-{i % 50}").inc()
+                    gauge.set(i)
+                    histogram.observe(i * 1e-4)
+                    i += 1
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        def read():
+            last = -1.0
+            try:
+                for _ in range(200):
+                    text = registry.render()
+                    assert "storm_total" in text
+                    value = registry.snapshot()["storm_total"]
+                    assert value >= last, "counter went backwards"
+                    last = value
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        writers = [
+            threading.Thread(target=write, args=(w,)) for w in range(4)
+        ]
+        readers = [threading.Thread(target=read) for _ in range(4)]
+        for t in writers + readers:
+            t.start()
+        for t in readers:
+            t.join()
+        stop.set()
+        for t in writers:
+            t.join()
+        assert errors == []
+        # The final render is well-formed Prometheus text.
+        for line in registry.render().splitlines():
+            assert line.startswith("#") or " " in line

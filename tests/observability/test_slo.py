@@ -1,0 +1,186 @@
+"""SLO unit contract: P² quantiles, spec grammar, budget accounting."""
+
+import math
+import random
+
+import pytest
+
+import repro.observability.slo as slo_module
+from repro.errors import ConfigurationError
+from repro.observability import (
+    MetricsRegistry,
+    P2Quantile,
+    SloTracker,
+    parse_slo_spec,
+)
+
+
+# ----------------------------------------------------------------------
+# P² streaming quantile
+# ----------------------------------------------------------------------
+class TestP2Quantile:
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.99).value())
+
+    def test_exact_below_five_samples(self):
+        est = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            est.observe(x)
+        assert est.value() == 2.0
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_tracks_sorted_list_quantile_on_uniform_stream(self, q):
+        rng = random.Random(7)
+        est = P2Quantile(q)
+        samples = [rng.random() for _ in range(5000)]
+        for x in samples:
+            est.observe(x)
+        samples.sort()
+        exact = samples[min(len(samples) - 1, int(q * len(samples)))]
+        # P² is an approximation; on U(0,1) with n=5000 it should land
+        # well within a few percent of the exact order statistic.
+        assert abs(est.value() - exact) < 0.05
+
+    def test_tracks_heavy_tail(self):
+        rng = random.Random(11)
+        est = P2Quantile(0.99)
+        samples = [rng.expovariate(10.0) for _ in range(5000)]
+        for x in samples:
+            est.observe(x)
+        samples.sort()
+        exact = samples[int(0.99 * len(samples))]
+        assert abs(est.value() - exact) / exact < 0.25
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_quantile_must_be_strictly_inside_unit_interval(self, q):
+        with pytest.raises(ConfigurationError):
+            P2Quantile(q)
+
+
+# ----------------------------------------------------------------------
+# Spec grammar
+# ----------------------------------------------------------------------
+class TestParseSloSpec:
+    def test_full_grammar(self):
+        parsed = parse_slo_spec("p99:0.5s,availability:99.9")
+        assert parsed["latency"] == [("p99", 0.99, 0.5)]
+        assert parsed["availability"] == 99.9
+
+    def test_unit_suffix_is_optional(self):
+        assert parse_slo_spec("p99:0.5")["latency"] == [("p99", 0.99, 0.5)]
+
+    def test_multiple_latency_objectives(self):
+        parsed = parse_slo_spec("p50:0.1s,p99.9:2s")
+        names = [(name, target) for name, _q, target in parsed["latency"]]
+        assert names == [("p50", 0.1), ("p99.9", 2.0)]
+        quantiles = [q for _n, q, _t in parsed["latency"]]
+        assert quantiles == [pytest.approx(0.5), pytest.approx(0.999)]
+        assert parsed["availability"] is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "p99",
+            "p0:1s",            # quantile of zero
+            "p100:1s",          # three digits / quantile of one
+            "p99:-1s",
+            "p99:fast",
+            "availability:101",
+            "availability:nope",
+            "p99:0.5s,p99:1s",  # duplicate objective
+            "latency:0.5s",
+        ],
+    )
+    def test_rejects_bad_grammar(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_slo_spec(bad)
+
+
+# ----------------------------------------------------------------------
+# SloTracker
+# ----------------------------------------------------------------------
+class _FakeTime:
+    """Stand-in for the slo module's ``time`` with a settable clock."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def time(self):
+        return self.now
+
+
+class TestSloTracker:
+    def test_quantile_and_availability_accounting(self):
+        slo = SloTracker("p50:1s,availability:99.0")
+        for _ in range(99):
+            slo.observe(0.2, ok=True)
+        slo.observe(0.0, ok=False)
+        assert slo.quantile("p50") == pytest.approx(0.2, abs=0.05)
+        assert slo.window_counts() == (99, 1)
+        assert slo.availability_percent() == pytest.approx(99.0)
+        # Budget exactly consumed: 1% allowed, 1% observed.
+        assert slo.error_budget_remaining() == pytest.approx(0.0, abs=1e-9)
+
+    def test_idle_window_is_fully_available(self):
+        slo = SloTracker("availability:99.9")
+        assert slo.availability_percent() == 100.0
+        assert slo.error_budget_remaining() == 1.0
+
+    def test_window_trims_old_buckets(self, monkeypatch):
+        clock = _FakeTime()
+        monkeypatch.setattr(slo_module, "time", clock)
+        slo = SloTracker("availability:99.0", window_seconds=60.0)
+        slo.observe(0.1, ok=False)
+        clock.now += 120.0
+        slo.observe(0.1, ok=True)
+        assert slo.window_counts() == (1, 0)
+        assert slo.availability_percent() == 100.0
+
+    def test_summary_flags_violation(self):
+        slo = SloTracker("p50:0.1s")
+        for _ in range(50):
+            slo.observe(5.0, ok=True)
+        assert "VIOLATED" in slo.summary()
+        ok = SloTracker("p50:10s")
+        ok.observe(0.1, ok=True)
+        assert "VIOLATED" not in ok.summary()
+
+    def test_errors_do_not_feed_latency_estimators(self):
+        slo = SloTracker("p50:1s")
+        slo.observe(99.0, ok=False)
+        assert math.isnan(slo.quantile("p50"))
+
+    def test_gauges_exported_on_registry(self):
+        registry = MetricsRegistry()
+        slo = SloTracker("p99:0.5s,availability:99.9", registry=registry)
+        for _ in range(20):
+            slo.observe(0.01, ok=True)
+        snap = registry.snapshot()
+        assert snap['repro_slo_latency_target_seconds{objective="p99"}'] \
+            == 0.5
+        assert snap['repro_slo_latency_seconds{objective="p99"}'] \
+            == pytest.approx(0.01, abs=0.05)
+        assert snap['repro_slo_latency_within_target{objective="p99"}'] == 1.0
+        assert snap["repro_slo_availability_percent"] == 100.0
+        assert snap["repro_slo_availability_target_percent"] == 99.9
+        assert snap["repro_slo_error_budget_remaining"] == 1.0
+
+    def test_accepts_parsed_spec_dict(self):
+        slo = SloTracker(parse_slo_spec("p90:1s"))
+        slo.observe(0.5, ok=True)
+        assert slo.quantile("p90") == pytest.approx(0.5)
+
+    def test_snapshot_shape(self):
+        slo = SloTracker("p99:0.5s,availability:99.9")
+        slo.observe(0.1, ok=True)
+        snap = slo.snapshot()
+        assert snap["availability"]["target_percent"] == 99.9
+        assert snap["availability"]["window_ok"] == 1
+        p99 = snap["latency"]["p99"]
+        assert p99["target_seconds"] == 0.5
+        assert p99["within_target"] is True
+
+    def test_window_must_be_at_least_one_second(self):
+        with pytest.raises(ConfigurationError):
+            SloTracker("p99:0.5s", window_seconds=0.5)

@@ -1,23 +1,25 @@
 """RequestTrace unit contract: ids, spans, marks, export."""
 
 import json
+import os
 import threading
 
 from repro.observability import RequestTrace, new_trace, reset_trace_ids
 
 
 class TestIds:
-    def test_ids_are_monotonic_and_formatted(self):
+    def test_ids_are_monotonic_and_pid_prefixed(self):
         reset_trace_ids()
+        pid = os.getpid()
         first, second = new_trace(), new_trace()
-        assert first.trace_id == "t-000001"
-        assert second.trace_id == "t-000002"
+        assert first.trace_id == f"t-{pid}-000001"
+        assert second.trace_id == f"t-{pid}-000002"
 
     def test_reset_restarts_the_sequence(self):
         reset_trace_ids()
         new_trace()
         reset_trace_ids()
-        assert new_trace().trace_id == "t-000001"
+        assert new_trace().trace_id == f"t-{os.getpid()}-000001"
 
     def test_ids_unique_under_concurrency(self):
         reset_trace_ids()

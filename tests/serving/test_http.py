@@ -12,6 +12,7 @@ views (one registry, one truth), and /health must flip to draining
 import asyncio
 import http.client
 import json
+import os
 import re
 import threading
 import time
@@ -226,7 +227,7 @@ class TestTraces:
         ids = [trace["id"] for trace in traces]
         assert len(set(ids)) == 2
         for trace_id in ids:
-            assert re.fullmatch(r"t-\d{6}", trace_id)
+            assert re.fullmatch(r"t-\d+-\d{6}", trace_id)
         for trace in traces:
             assert set(trace["spans"]) >= {
                 "parse",
@@ -244,7 +245,7 @@ class TestTraces:
         with start_http_thread(max_sessions=1) as handle:
             responses = _detect_lines(handle, ["not an object"])
         assert responses[0]["ok"] is False
-        assert re.fullmatch(r"t-\d{6}", responses[0]["trace"]["id"])
+        assert re.fullmatch(r"t-\d+-\d{6}", responses[0]["trace"]["id"])
         assert "parse" in responses[0]["trace"]["spans"]
 
 
@@ -335,11 +336,14 @@ class TestHealthAndShutdown:
             status, _, text = _request(handle, "GET", "/health")
         assert status == 200
         payload = json.loads(text)
-        assert payload == {
-            "status": "ready",
-            "queue_depth": 0,
-            "sessions_resident": 0,
-        }
+        assert payload["status"] == "ready"
+        assert payload["queue_depth"] == 0
+        assert payload["sessions_resident"] == 0
+        assert payload["pid"] == os.getpid()
+        assert payload["uptime_seconds"] >= 0.0
+        from repro import __version__
+
+        assert payload["version"] == __version__
 
     def test_health_flips_to_draining_during_graceful_stop(self):
         """During stop(grace): /health answers 503 draining on new
@@ -478,3 +482,133 @@ class TestProtocolEdges:
             status, _, text = _request(handle, "POST", "/detect", body=b"")
         assert status == 200
         assert text == ""
+
+
+# ----------------------------------------------------------------------
+# /debug/* forensics
+# ----------------------------------------------------------------------
+class TestDebugEndpoints:
+    def test_debug_events_sees_the_request_event(self, int_graph):
+        with start_http_thread(max_sessions=1) as handle:
+            _detect_lines(handle, [{
+                "id": "seen",
+                "graph": _edges_payload(int_graph),
+                "algorithm": "oca",
+                "seed": SEED,
+            }])
+            status, _, text = _request(handle, "GET", "/debug/events")
+        assert status == 200
+        payload = json.loads(text)
+        kinds = [event["kind"] for event in payload["events"]]
+        assert "server_start" in kinds
+        assert "request" in kinds
+        assert payload["dropped"] == 0
+        assert payload["buffered"] == len(payload["events"])
+        request_event = next(
+            e for e in payload["events"] if e["kind"] == "request"
+        )
+        assert request_event["request_id"] == "seen"
+        assert request_event["client"] == "http"
+        assert request_event["status"] == "ok"
+        assert request_event["algorithm"] == "oca"
+        assert re.fullmatch(r"t-\d+-\d{6}", request_event["trace"])
+        assert "detect" in request_event["spans"]
+
+    def test_debug_events_kind_filter_and_bound(self, int_graph):
+        with start_http_thread(max_sessions=1) as handle:
+            payloads = [
+                {
+                    "id": f"r{i}",
+                    "graph": _edges_payload(int_graph),
+                    "algorithm": "oca",
+                    "seed": SEED,
+                }
+                for i in range(3)
+            ]
+            _detect_lines(handle, payloads)
+            status, _, text = _request(
+                handle, "GET", "/debug/events?kind=request&n=2"
+            )
+        assert status == 200
+        events = json.loads(text)["events"]
+        assert [e["kind"] for e in events] == ["request", "request"]
+        assert [e["request_id"] for e in events] == ["r1", "r2"]
+
+    def test_debug_slow_captures_with_zero_threshold(self, int_graph):
+        with start_http_thread(
+            max_sessions=1, slow_threshold_seconds=0.0
+        ) as handle:
+            _detect_lines(handle, [{
+                "id": "slowpoke",
+                "graph": _edges_payload(int_graph),
+                "algorithm": "oca",
+                "seed": SEED,
+            }])
+            status, _, text = _request(handle, "GET", "/debug/slow")
+        assert status == 200
+        payload = json.loads(text)
+        assert payload["threshold_seconds"] == 0.0
+        assert payload["captured"] == 1
+        record = payload["requests"][0]
+        assert record["request_id"] == "slowpoke"
+        assert record["latency_seconds"] >= 0.0
+        # Forensics context rides along: full trace, engine stats, queue.
+        assert "spans" in record["trace_export"]
+        assert record["stats"]
+        assert "queue_depth_now" in record
+
+    def test_debug_slow_empty_without_threshold(self):
+        with start_http_thread(max_sessions=1) as handle:
+            status, _, text = _request(handle, "GET", "/debug/slow")
+        assert status == 200
+        payload = json.loads(text)
+        assert payload["requests"] == []
+        assert payload["threshold_seconds"] is None
+
+    def test_debug_vars_is_the_registry_snapshot(self):
+        with start_http_thread(max_sessions=1) as handle:
+            _request(handle, "GET", "/health")
+            status, _, text = _request(handle, "GET", "/debug/vars")
+        assert status == 200
+        snapshot = json.loads(text)
+        assert snapshot['repro_http_requests_total{path="/health"}'] == 1.0
+        assert "repro_manager_sessions_resident" in snapshot
+
+    def test_debug_profile_returns_collapsed_stacks(self):
+        with start_http_thread(max_sessions=1) as handle:
+            status, headers, text = _request(
+                handle, "GET", "/debug/profile?seconds=0.3"
+            )
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert text.startswith("# samples:")
+        # The serving loop itself is running, so stacks are non-empty.
+        body = [l for l in text.splitlines() if not l.startswith("#")]
+        assert body, text
+        for line in body:
+            assert int(line.rsplit(" ", 1)[1]) >= 1
+
+    def test_debug_profile_rejects_bad_durations(self):
+        with start_http_thread(max_sessions=1) as handle:
+            for query in ("seconds=0", "seconds=61", "seconds=banana"):
+                status, _, _ = _request(
+                    handle, "GET", f"/debug/profile?{query}"
+                )
+                assert status == 400
+
+    def test_debug_unknown_path_404(self):
+        with start_http_thread(max_sessions=1) as handle:
+            status, _, _ = _request(handle, "GET", "/debug/nope")
+        assert status == 404
+
+    def test_debug_is_get_only(self):
+        with start_http_thread(max_sessions=1) as handle:
+            status, _, text = _request(handle, "POST", "/debug/events")
+        assert status == 405
+        assert "use GET" in json.loads(text)["error"]
+
+    def test_server_stop_event_emitted_on_close(self):
+        with start_http_thread(max_sessions=1) as handle:
+            service = handle.server.service
+        kinds = [e["kind"] for e in service.events.tail()]
+        assert "server_stop" in kinds
