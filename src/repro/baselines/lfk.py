@@ -37,15 +37,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from .._rng import SeedLike, as_random
 from ..communities import Cover
 from ..detection import _warn_legacy
 from ..errors import ConfigurationError
 from ..graph import Graph
+from ..graph.csr import CompiledGraph
 from ..core.fitness import LFKFitness
-from ..core.state import CommunityState
+from ..core.state import ArrayCommunityState, CommunityState
 
 __all__ = ["LFKResult", "natural_community", "lfk"]
 
@@ -137,6 +140,142 @@ def natural_community(
                     current = value
                     removed = True
     return set(state.members)
+
+
+# ----------------------------------------------------------------------
+# The CSR-native path (dense-id space, vectorised scans)
+# ----------------------------------------------------------------------
+def _lfk_values(
+    alpha: float, internal_edges: np.ndarray, volumes: np.ndarray
+) -> np.ndarray:
+    """Vectorised :meth:`~repro.core.fitness.LFKFitness.value` over int64
+    stat arrays.
+
+    Mirrors the scalar arithmetic operation for operation: the stats are
+    exact integers far below 2**53, each float64 intermediate is exact,
+    and numpy's float64 power resolves to the same libm ``pow`` the
+    scalar ``**`` calls — so every element is bit-identical to the dict
+    path's fitness value.  The acceptance matrix pins this.
+    """
+    k_in = 2.0 * internal_edges
+    k_out = (volumes - 2 * internal_edges).astype(np.float64)
+    total = k_in + k_out
+    positive = total > 0.0
+    safe = np.where(positive, total, 1.0)
+    return np.where(positive, k_in / safe**alpha, 0.0)
+
+
+def _natural_community_ids(
+    compiled: CompiledGraph,
+    node: int,
+    alpha: float,
+    max_steps: Optional[int],
+) -> np.ndarray:
+    """:func:`natural_community` on dense ids, with vectorised scans.
+
+    Both scans replicate the dict path move for move.  Step A computes
+    every frontier candidate's fitness in one segment-reduced vector
+    expression, prefilters the improvers (any candidate the dict chain
+    could accept satisfies ``value > current + eps``, since its running
+    best only rises), then replays the dict path's eps-chain over that
+    short survivor list — ascending id order *is* insertion-rank order.
+    Step B removes the first improving member of the rank-ordered
+    snapshot, recomputing the remaining tail's values after each
+    removal, exactly like the dict sweep.
+    """
+    fitness = LFKFitness(alpha=alpha)
+    state = ArrayCommunityState(compiled, [node])
+    degrees = compiled.degrees
+    if max_steps is None:
+        max_steps = 4 * compiled.number_of_nodes() + 16
+    steps = 0
+    while steps < max_steps:
+        # Step A: best addition (eps-chain over the vectorised values).
+        current = state.value(fitness)
+        frontier = state.frontier_id_array()
+        best_node = None
+        if frontier.size:
+            gains = state.frontier_gain_array(frontier).astype(np.int64)
+            values = _lfk_values(
+                alpha,
+                state.internal_edges + gains,
+                state.volume + degrees[frontier].astype(np.int64),
+            )
+            best_value = current
+            for position in np.flatnonzero(values > current + _EPS):
+                value = float(values[position])
+                if value > best_value + _EPS:
+                    best_value = value
+                    best_node = int(frontier[position])
+        if best_node is None:
+            break
+        state.add(best_node)
+        steps += 1
+        # Step B: purge nodes whose removal improves fitness.
+        removed = True
+        while removed and steps < max_steps and state.size > 1:
+            removed = False
+            current = state.value(fitness)
+            snapshot = state.member_id_array()
+            position = 0
+            while position < len(snapshot) and state.size > 1:
+                tail = snapshot[position:]
+                losses = state.internal_degree_array(tail).astype(np.int64)
+                values = _lfk_values(
+                    alpha,
+                    state.internal_edges - losses,
+                    state.volume - degrees[tail].astype(np.int64),
+                )
+                better = np.flatnonzero(values > current + _EPS)
+                if better.size == 0:
+                    break
+                index = int(better[0])
+                state.remove(int(tail[index]))
+                steps += 1
+                current = float(values[index])
+                removed = True
+                position += index + 1
+    return state.member_id_array()
+
+
+def _lfk_compiled(
+    compiled: CompiledGraph,
+    alpha: float = 1.0,
+    seed: SeedLike = None,
+    max_steps_per_community: Optional[int] = None,
+) -> Tuple[List[Set[int]], int]:
+    """The LFK covering loop in dense-id space.
+
+    Returns ``(communities-as-id-sets, natural-community count)``.  The
+    shuffle consumes the identical rng sequence as :func:`_lfk` (it
+    depends only on the list length), and dense ids are insertion ranks,
+    so the t-th seed here is the id of the t-th dict-path seed — the
+    cover matches the dict path's member for member.
+    """
+    if alpha <= 0.0:
+        raise ConfigurationError(f"alpha must be positive, got {alpha}")
+    rng = as_random(seed)
+    n = compiled.number_of_nodes()
+    order = list(range(n))
+    rng.shuffle(order)
+    covered = np.zeros(n, dtype=bool)
+    communities: List[Set[int]] = []
+    computed = 0
+    for node in order:
+        if covered[node]:
+            continue
+        members = _natural_community_ids(
+            compiled, node, alpha, max_steps_per_community
+        )
+        computed += 1
+        community = set(int(member) for member in members)
+        # The growth may purge its own seed; anchor it anyway so the
+        # covering loop terminates with full coverage (mirrors _lfk).
+        community.add(node)
+        communities.append(community)
+        covered[members] = True
+        covered[node] = True
+    return communities, computed
 
 
 def _lfk(

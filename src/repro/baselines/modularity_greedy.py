@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, Iterator, List, Set, Tuple
 
 from ..communities import Partition
 from ..errors import AlgorithmError
 from ..graph import Graph
+from ..graph.csr import CompiledGraph
 
 __all__ = ["GreedyModularityResult", "greedy_modularity"]
 
@@ -54,8 +55,37 @@ class GreedyModularityResult:
     elapsed_seconds: float
 
 
+def _ranked_edges(graph) -> Iterator[Tuple[int, int]]:
+    """Every edge as an insertion-rank pair ``(i, j)``, ``i < j``, in the
+    canonical scan order: ``i`` ascending, then ``j`` ascending.
+
+    This is exactly the sorted-CSR-row order, reproduced for dict graphs
+    by sorting each (set-backed, arbitrarily ordered) neighbourhood — so
+    the agglomeration below sees identical input, tie-breaks included,
+    on either representation.
+    """
+    if isinstance(graph, CompiledGraph):
+        indptr, indices = graph.indptr, graph.indices
+        for i in range(graph.number_of_nodes()):
+            for j in indices[indptr[i] : indptr[i + 1]].tolist():
+                if j > i:
+                    yield i, j
+    else:
+        index = {node: i for i, node in enumerate(graph.nodes())}
+        for node, i in index.items():
+            for j in sorted(index[neighbour] for neighbour in graph.neighbors(node)):
+                if j > i:
+                    yield i, j
+
+
 def greedy_modularity(graph: Graph) -> GreedyModularityResult:
     """Run CNM greedy modularity maximisation on ``graph``.
+
+    Accepts either representation — the label-keyed
+    :class:`~repro.graph.Graph` or a dense-id
+    :class:`~repro.graph.CompiledGraph` — and agglomerates in insertion-
+    rank space with a canonical edge-scan order, so the resulting
+    partition is identical across representations.
 
     Raises :class:`AlgorithmError` on edgeless graphs, where modularity
     is undefined.
@@ -65,23 +95,24 @@ def greedy_modularity(graph: Graph) -> GreedyModularityResult:
         raise AlgorithmError("greedy modularity needs at least one edge")
     start = time.perf_counter()
 
-    # Community id -> member set; start singleton.
-    members: Dict[int, Set[Node]] = {}
-    community_of: Dict[Node, int] = {}
-    for index, node in enumerate(graph.nodes()):
-        members[index] = {node}
-        community_of[node] = index
+    # Everything below runs in rank space: community ids start as node
+    # ranks, member sets hold ranks, and `order` translates back at the
+    # end (for compiled input ranks *are* the node ids).
+    order: List[Node] = list(graph.nodes())
+    n = len(order)
+
+    # Community id -> member rank set; start singleton.
+    members: Dict[int, Set[int]] = {i: {i} for i in range(n)}
 
     # e[i][j]: fraction of edges between communities i and j (i != j);
     # a[i]: fraction of endpoint mass in community i.
     e: Dict[int, Dict[int, float]] = {i: {} for i in members}
     a: Dict[int, float] = {i: 0.0 for i in members}
-    for u, v in graph.edges():
-        i, j = community_of[u], community_of[v]
+    for i, j in _ranked_edges(graph):
         e[i][j] = e[i].get(j, 0.0) + 1.0 / (2.0 * m)
         e[j][i] = e[j].get(i, 0.0) + 1.0 / (2.0 * m)
-    for node in graph.nodes():
-        a[community_of[node]] += graph.degree(node) / (2.0 * m)
+    for i, node in enumerate(order):
+        a[i] += graph.degree(node) / (2.0 * m)
 
     def q_current() -> float:
         total = 0.0
@@ -111,8 +142,6 @@ def greedy_modularity(graph: Graph) -> GreedyModularityResult:
         i, j = best_pair
         # Merge j into i.
         members[i] |= members.pop(j)
-        for node in members[i]:
-            community_of[node] = i
         row_j = e.pop(j)
         for k, fraction in row_j.items():
             if k == j:
@@ -131,7 +160,9 @@ def greedy_modularity(graph: Graph) -> GreedyModularityResult:
         a[i] += a.pop(j)
         merges += 1
 
-    partition = Partition(members.values())
+    partition = Partition(
+        (order[rank] for rank in block) for block in members.values()
+    )
     return GreedyModularityResult(
         partition=partition,
         modularity=q_current(),

@@ -79,7 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--algorithm",
         type=str.lower,
-        choices=["oca", "lfk", "cfinder", "cpm"],
+        choices=["oca", "lfk", "cfinder", "cpm", "modularity_greedy"],
         default="oca",
         help=(
             "which registered detector to run (default: oca); "

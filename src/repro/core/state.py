@@ -516,6 +516,31 @@ class ArrayCommunityState:
         return self._size
 
     # ------------------------------------------------------------------
+    # Bulk read access (the vectorised baseline kernels)
+    # ------------------------------------------------------------------
+    def member_id_array(self) -> np.ndarray:
+        """Member ids as an array, ascending (== insertion-rank order)."""
+        return np.flatnonzero(self._member)
+
+    def frontier_id_array(self) -> np.ndarray:
+        """Frontier ids as an array, ascending.
+
+        Members park their frontier score far below zero, so a single
+        vectorised comparison reads the frontier off the score array.
+        """
+        return np.flatnonzero(self._frontier_score > 0)
+
+    def frontier_gain_array(self, ids: np.ndarray) -> np.ndarray:
+        """Member-link counts of the given frontier ids — the exact
+        ``E_in`` gain of adding each one."""
+        return self._frontier_score[ids]
+
+    def internal_degree_array(self, ids: np.ndarray) -> np.ndarray:
+        """Internal degrees of the given member ids — the exact ``E_in``
+        loss of removing each one."""
+        return self._member_score[ids]
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add(self, node: int) -> None:

@@ -68,10 +68,15 @@ class DetectionRequest:
         or a full ``config`` object — for OCA).  Echoed back on the
         result.
     workers / backend / batch_size / representation / shipping:
-        Execution-engine knobs, honoured by algorithms that support them
-        (currently OCA) and ignored by the inherently sequential
-        baselines.  ``shipping`` picks how the compiled graph reaches
-        process workers (``auto`` / ``shm`` / ``pickle``); like
+        Execution knobs.  ``representation`` (``auto`` / ``dict`` /
+        ``csr``) is honoured by **every** built-in detector — ``csr``
+        runs the algorithm's vectorised dense-id kernels on the compiled
+        CSR arrays, and never changes the cover.  The engine knobs
+        proper (``workers`` / ``backend`` / ``batch_size`` /
+        ``shipping``) apply to algorithms on the parallel execution
+        engine (currently OCA) and are ignored by the inherently
+        sequential baselines.  ``shipping`` picks how the compiled graph
+        reaches process workers (``auto`` / ``shm`` / ``pickle``); like
         ``workers`` it never changes the cover.
     engine:
         Optional pre-built :class:`~repro.engine.ExecutionEngine` that

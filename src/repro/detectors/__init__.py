@@ -23,8 +23,8 @@ Quickstart::
         covers = [session.detect("oca", seed=s).cover for s in range(20)]
         print(session.stats)
 
-Importing this package registers the four built-in detectors (``oca``,
-``lfk``, ``cfinder``, ``cpm``).
+Importing this package registers the five built-in detectors (``oca``,
+``lfk``, ``cfinder``, ``cpm``, ``modularity_greedy``).
 """
 
 from .registry import (
@@ -38,6 +38,7 @@ from .builtin import (
     CPMDetector,
     DetectorBase,
     LFKDetector,
+    ModularityGreedyDetector,
     OCADetector,
 )
 from .session import GraphSession, SessionStats
@@ -52,6 +53,7 @@ __all__ = [
     "LFKDetector",
     "CFinderDetector",
     "CPMDetector",
+    "ModularityGreedyDetector",
     "GraphSession",
     "SessionStats",
 ]

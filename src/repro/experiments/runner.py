@@ -59,6 +59,7 @@ EXPERIMENT_PARAMS: Dict[str, Dict[str, Any]] = {
     "lfk": {"alpha": 1.0},
     "cfinder": {},
     "cpm": {},
+    "modularity_greedy": {},
 }
 
 
@@ -90,10 +91,11 @@ def run_algorithm(
     ``quality_mode=True`` (Figures 2/3) applies the shared post-processing
     — merge then orphan assignment — to whatever the algorithm returned.
     ``quality_mode=False`` (Figures 5/6) times the raw algorithm only.
-    ``workers``/``backend``/``batch_size``/``representation``/``shipping``
-    configure
-    the execution engine for algorithms that support it (currently OCA;
-    the baselines are inherently sequential and ignore them), and
+    ``representation`` picks the graph substrate (``dict`` / ``csr``)
+    for every algorithm; ``workers``/``backend``/``batch_size``/
+    ``shipping`` configure the execution engine for algorithms that
+    support it (currently OCA; the baselines are inherently sequential
+    and ignore them), and
     ``spectral_solver`` picks OCA's cold ``c`` resolution (power method
     or Lanczos).
     """

@@ -31,7 +31,7 @@ self-check statistics including the realised mixing parameter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import AbstractSet, Dict, List, Sequence, Set, Tuple
 
 from .._rng import SeedLike, as_random, spawn_seed
 from ..communities import Cover
@@ -63,10 +63,26 @@ class LFRParams:
     tau2: float = 1.0
     min_community: int = 10
     max_community: int = 50
+    #: Overlap knobs, after the reference generator's ``on``/``om``: the
+    #: number of overlapping nodes, and how many communities each of
+    #: them belongs to.  ``on = 0`` (the default) is the classic
+    #: disjoint benchmark — and draws the identical rng stream as before
+    #: the knobs existed, so seeded instances are unchanged.
+    on: int = 0
+    om: int = 2
 
     def __post_init__(self) -> None:
         if self.n <= 0:
             raise GeneratorError(f"n must be positive, got {self.n}")
+        if not 0 <= self.on <= self.n:
+            raise GeneratorError(
+                f"on (overlapping nodes) must lie in [0, n], got {self.on}"
+            )
+        if self.om < 2:
+            raise GeneratorError(
+                f"om (memberships per overlapping node) must be >= 2, "
+                f"got {self.om}"
+            )
         if not 0.0 <= self.mu <= 1.0:
             raise GeneratorError(f"mu must lie in [0, 1], got {self.mu}")
         if self.max_degree >= self.n:
@@ -103,6 +119,7 @@ class LFRInstance:
     realized_mu: float
     realized_average_degree: float
     dropped_stubs: int
+    overlapping_nodes: int = 0
 
     def __repr__(self) -> str:
         return (
@@ -188,8 +205,56 @@ def _pair_stubs(
     return len(remaining)
 
 
-def _realized_mixing(graph: Graph, assignment: Sequence[int]) -> float:
-    """Mean over nodes of the fraction of external incident edges."""
+def _add_overlap_memberships(
+    memberships: List[List[int]],
+    sizes: Sequence[int],
+    params: LFRParams,
+    rng,
+) -> None:
+    """Give ``on`` randomly chosen nodes ``om - 1`` extra communities.
+
+    The reference generator's overlap regime: overlapping nodes keep
+    their degree, split their internal half across their memberships
+    (see :func:`_internal_share`), and the planted cover becomes
+    genuinely overlapping.  Extra communities are drawn uniformly among
+    the others; deterministic given the rng.
+    """
+    communities = len(sizes)
+    if params.om > communities:
+        raise GeneratorError(
+            f"om {params.om} exceeds the {communities} sampled communities; "
+            "widen the community-size range or lower om"
+        )
+    nodes = list(range(params.n))
+    rng.shuffle(nodes)
+    for node in nodes[: params.on]:
+        primary = memberships[node][0]
+        others = [c for c in range(communities) if c != primary]
+        rng.shuffle(others)
+        memberships[node].extend(sorted(others[: params.om - 1]))
+
+
+def _internal_share(
+    degree: int, mu: float, membership_count: int, position: int
+) -> int:
+    """Node's internal-degree quota for its ``position``-th membership.
+
+    The internal half ``round((1 - mu) k)`` splits as evenly as possible
+    across the node's communities, earlier memberships taking the
+    remainder — for a single membership this is exactly the classic
+    quota.
+    """
+    total = int(round((1.0 - mu) * degree))
+    base, remainder = divmod(total, membership_count)
+    return base + (1 if position < remainder else 0)
+
+
+def _realized_mixing(graph: Graph, memberships: Sequence[AbstractSet[int]]) -> float:
+    """Mean over nodes of the fraction of external incident edges.
+
+    An edge is internal when its endpoints share *any* community — for
+    disjoint instances this reduces to the classic definition.
+    """
     total = 0.0
     counted = 0
     for node in graph.nodes():
@@ -198,7 +263,7 @@ def _realized_mixing(graph: Graph, assignment: Sequence[int]) -> float:
             continue
         external = sum(
             1 for other in graph.neighbors(node)
-            if assignment[other] != assignment[node]
+            if memberships[other].isdisjoint(memberships[node])
         )
         total += external / degree
         counted += 1
@@ -227,26 +292,49 @@ def lfr_graph(params: LFRParams = LFRParams(), seed: SeedLike = None) -> LFRInst
     )
     assignment = _assign_communities(degrees, sizes, params.mu, rng)
 
+    # One membership list per node, primary community first.  The
+    # overlap stage (and every rng draw it makes) is gated on ``on`` so
+    # disjoint instances reproduce the pre-knob stream exactly.
+    memberships: List[List[int]] = [[community] for community in assignment]
+    if params.on:
+        _add_overlap_memberships(memberships, sizes, params, rng)
+    membership_sets: List[Set[int]] = [set(ms) for ms in memberships]
+
     members: Dict[int, List[int]] = {}
-    for node, community in enumerate(assignment):
-        members.setdefault(community, []).append(node)
+    for node in range(params.n):
+        for community in memberships[node]:
+            members.setdefault(community, []).append(node)
 
     graph = Graph(nodes=range(params.n))
     dropped = 0
 
-    # Internal wiring, one configuration model per community.
+    # Internal wiring, one configuration model per community; a node's
+    # internal quota splits across its memberships.
     for community, nodes in members.items():
         size = len(nodes)
         stubs: List[int] = []
         for node in nodes:
-            internal = min(int(round((1.0 - params.mu) * degrees[node])), size - 1)
-            stubs.extend([node] * internal)
+            share = _internal_share(
+                degrees[node],
+                params.mu,
+                len(memberships[node]),
+                memberships[node].index(community),
+            )
+            stubs.extend([node] * min(share, size - 1))
         if len(stubs) % 2 == 1:
             stubs.pop()
             dropped += 1
         dropped += _pair_stubs(stubs, lambda u, v: False, graph, rng)
 
-    # External wiring: global configuration model rejecting intra pairs.
+    # External wiring: global configuration model rejecting intra pairs
+    # (pairs sharing any community; plain assignment equality when
+    # disjoint — cheaper, and the historical behaviour).
+    if params.on:
+        def intra(u: int, v: int) -> bool:
+            return not membership_sets[u].isdisjoint(membership_sets[v])
+    else:
+        def intra(u: int, v: int) -> bool:
+            return assignment[u] == assignment[v]
     external_stubs: List[int] = []
     for node in range(params.n):
         target = degrees[node]
@@ -255,19 +343,15 @@ def lfr_graph(params: LFRParams = LFRParams(), seed: SeedLike = None) -> LFRInst
     if len(external_stubs) % 2 == 1:
         external_stubs.pop()
         dropped += 1
-    dropped += _pair_stubs(
-        external_stubs,
-        lambda u, v: assignment[u] == assignment[v],
-        graph,
-        rng,
-    )
+    dropped += _pair_stubs(external_stubs, intra, graph, rng)
 
     cover = Cover(members[key] for key in sorted(members))
     return LFRInstance(
         graph=graph,
         communities=cover,
         params=params,
-        realized_mu=_realized_mixing(graph, assignment),
+        realized_mu=_realized_mixing(graph, membership_sets),
         realized_average_degree=realized_average_degree(graph),
         dropped_stubs=dropped,
+        overlapping_nodes=params.on,
     )

@@ -40,6 +40,7 @@ from typing import (
     Optional,
     Protocol,
     Sequence,
+    Set,
     runtime_checkable,
 )
 
@@ -48,7 +49,17 @@ import numpy as np
 from ..errors import GraphError, NodeNotFoundError
 from .graph import Graph, Node
 
-__all__ = ["GraphBackend", "CompiledGraph", "compile_graph", "attach_compiled"]
+__all__ = [
+    "GraphBackend",
+    "CompiledGraph",
+    "compile_graph",
+    "attach_compiled",
+    "in_sorted",
+    "intersect_sorted",
+    "intersect_size_sorted",
+    "setdiff_sorted",
+    "segment_sums",
+]
 
 #: CSR arrays are int32 (the ISSUE/paper scale fits comfortably); this is
 #: the hard ceiling on node count and directed edge-endpoint count.
@@ -291,6 +302,45 @@ class CompiledGraph:
         return self._identity
 
     # ------------------------------------------------------------------
+    # Shared baseline primitives (segment reductions over the CSR rows)
+    # ------------------------------------------------------------------
+    def volume_of(self, ids) -> int:
+        """Sum of degrees over a collection of dense ids (the volume).
+
+        One fancy-index + reduction; the per-node counterpart of the
+        running ``volume`` aggregate the community states maintain.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return 0
+        return int(self.degrees[ids].sum())
+
+    def neighbor_mask_counts(self, mask: np.ndarray) -> np.ndarray:
+        """Per-node count of neighbours where ``mask`` is True.
+
+        One segment reduction over the whole CSR index array: for every
+        node ``i`` at once, ``|N(i) ∩ {v : mask[v]}|`` — the bulk
+        counterpart of querying one community membership mask node by
+        node.
+        """
+        return segment_sums(mask[self.indices], self.indptr)
+
+    def neighbor_sets(self) -> List[Set[int]]:
+        """Materialise every row as a Python int set (O(n + 2m)).
+
+        The bridge for set-based algorithms (e.g. Bron–Kerbosch's dict
+        path) running on a compiled graph: one pass over the CSR arrays
+        instead of per-node ``neighbors()`` calls and conversions.  Not
+        cached — callers that need it across calls should keep the list.
+        """
+        indptr, indices = self.indptr, self.indices
+        flat = indices.tolist()
+        return [
+            set(flat[indptr[i] : indptr[i + 1]])
+            for i in range(len(self.degrees))
+        ]
+
+    # ------------------------------------------------------------------
     def nbytes(self) -> int:
         """Memory footprint of the three CSR arrays, in bytes."""
         return int(self.indptr.nbytes + self.indices.nbytes + self.degrees.nbytes)
@@ -444,3 +494,55 @@ def attach_compiled(graph: Graph, compiled: CompiledGraph) -> None:
             f"vs graph (n={graph.number_of_nodes()}, m={graph.number_of_edges()})"
         )
     graph._compiled = compiled
+
+
+# ----------------------------------------------------------------------
+# Sorted-row set algebra
+# ----------------------------------------------------------------------
+# CSR rows are sorted by dense id, so neighbourhood set operations reduce
+# to binary searches over arrays — the generic sorted-id toolkit for
+# algorithms working in dense-id space (alongside the segment reductions
+# the CSR-native baselines build on).  All take 1-d sorted int arrays;
+# results preserve sort order.
+
+def in_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Boolean membership mask of ``values`` in the **sorted** ``table``."""
+    values = np.asarray(values)
+    if len(table) == 0 or len(values) == 0:
+        return np.zeros(len(values), dtype=bool)
+    positions = np.searchsorted(table, values)
+    hits = positions < len(table)
+    hits[hits] = table[positions[hits]] == values[hits]
+    return hits
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The sorted intersection of two sorted id arrays."""
+    return a[in_sorted(a, b)]
+
+
+def intersect_size_sorted(a: np.ndarray, b: np.ndarray) -> int:
+    """``|a ∩ b|`` for two sorted id arrays (binary search, no allocation
+    of the intersection itself; the shorter array drives the search)."""
+    if len(b) < len(a):
+        a, b = b, a
+    return int(np.count_nonzero(in_sorted(a, b)))
+
+
+def setdiff_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The sorted difference ``a \\ b`` of two sorted id arrays."""
+    return a[~in_sorted(a, b)]
+
+
+def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sums of ``values`` under ``offsets`` boundaries.
+
+    Segment ``i`` is ``values[offsets[i]:offsets[i + 1]]``; empty
+    segments sum to 0 (the reason this is a cumulative-sum subtraction
+    rather than ``np.add.reduceat``, which misreads empty segments).
+    Used as the degree/volume segment reduction over CSR rows and over
+    clique member lists.
+    """
+    running = np.zeros(len(values) + 1, dtype=np.int64)
+    np.cumsum(values, dtype=np.int64, out=running[1:])
+    return running[offsets[1:]] - running[offsets[:-1]]

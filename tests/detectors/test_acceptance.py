@@ -131,7 +131,9 @@ def test_run_algorithm_goes_through_registry(int_graph):
     assert cpm_run.cover == by_key.cover
 
 
-@pytest.mark.parametrize("algorithm", ["oca", "lfk", "cfinder", "cpm"])
+@pytest.mark.parametrize(
+    "algorithm", ["oca", "lfk", "cfinder", "cpm", "modularity_greedy"]
+)
 def test_cli_detect_accepts_every_registered_algorithm(
     tmp_path, capsys, algorithm
 ):

@@ -1,0 +1,187 @@
+"""Baseline representation matrix (ISSUE 10).
+
+The CSR-native baseline contract: every baseline detector returns covers
+**byte-identical** across ``representation={dict, csr}`` — on int- and
+str-labelled graphs, one-shot, through a warm :class:`GraphSession`, and
+served from a store-loaded session — and the csr path never touches the
+dict :class:`~repro.graph.Graph` adjacency.
+"""
+
+import pytest
+
+from repro import (
+    DetectionRequest,
+    Graph,
+    GraphSession,
+    GraphStore,
+    SessionManager,
+    compile_graph,
+    get_detector,
+)
+from repro.errors import ConfigurationError
+from repro.generators import ring_of_cliques
+
+BASELINES = ("lfk", "cfinder", "cpm", "modularity_greedy")
+ALL_DETECTORS = ("oca",) + BASELINES
+SEED = 53
+
+
+@pytest.fixture(scope="module")
+def int_graph():
+    g, _ = ring_of_cliques(4, 5)
+    return g
+
+
+@pytest.fixture(scope="module")
+def str_graph(int_graph):
+    """The same structure with string labels, same construction order."""
+    mapping = {node: f"n{node}" for node in int_graph.nodes()}
+    g = Graph(nodes=(mapping[node] for node in int_graph.nodes()))
+    for u, v in int_graph.edges():
+        g.add_edge(mapping[u], mapping[v])
+    return g
+
+
+@pytest.fixture(scope="module", params=["int", "str"])
+def graph(request, int_graph, str_graph):
+    return int_graph if request.param == "int" else str_graph
+
+
+@pytest.fixture(scope="module")
+def dict_covers(graph):
+    """Reference covers from the forced label-keyed path."""
+    covers = {}
+    for name in BASELINES:
+        result = get_detector(name).detect(
+            DetectionRequest(graph=graph, seed=SEED, representation="dict")
+        )
+        assert result.stats["representation"] == "dict"
+        covers[name] = result.cover
+    return covers
+
+
+@pytest.mark.parametrize("name", BASELINES)
+class TestRepresentationMatrix:
+    def test_one_shot_csr(self, graph, dict_covers, name):
+        result = get_detector(name).detect(
+            DetectionRequest(graph=graph, seed=SEED, representation="csr")
+        )
+        assert result.stats["representation"] == "csr"
+        assert result.cover == dict_covers[name]
+
+    def test_auto_resolves_to_csr(self, graph, dict_covers, name):
+        result = get_detector(name).detect(
+            DetectionRequest(graph=graph, seed=SEED)
+        )
+        assert result.stats["representation"] == "csr"
+        assert result.cover == dict_covers[name]
+
+    def test_one_shot_csr_on_compiled_graph(self, graph, dict_covers, name):
+        result = get_detector(name).detect(
+            DetectionRequest(
+                graph=compile_graph(graph), seed=SEED, representation="csr"
+            )
+        )
+        # Compiled input must come back in the original label space.
+        assert result.cover == dict_covers[name]
+
+    @pytest.mark.parametrize("representation", ["dict", "csr"])
+    def test_warm_session(self, graph, dict_covers, name, representation):
+        with GraphSession(graph, representation=representation) as session:
+            session.detect(name, seed=SEED + 1)  # warm every cache
+            result = session.detect(name, seed=SEED)
+        assert result.stats["representation"] == representation
+        assert result.cover == dict_covers[name]
+
+    @pytest.mark.parametrize("representation", ["dict", "csr"])
+    def test_store_loaded_session(
+        self, graph, dict_covers, name, representation, tmp_path
+    ):
+        store = GraphStore(tmp_path / "store")
+        with SessionManager(max_sessions=1, store=store) as manager:
+            manager.detect(graph, name, seed=SEED)  # compile + save
+            fingerprint = manager.fingerprint(graph)
+        # Fresh manager over the same directory: the restart.
+        with SessionManager(
+            max_sessions=1,
+            store=GraphStore(tmp_path / "store"),
+            representation=representation,
+        ) as manager:
+            result = manager.detect(fingerprint, name, seed=SEED)
+        assert result.stats["session_source"] == "store"
+        assert result.stats["representation"] == representation
+        assert result.cover == dict_covers[name]
+
+    def test_unknown_representation_rejected(self, graph, dict_covers, name):
+        with pytest.raises(ConfigurationError, match="representation"):
+            get_detector(name).detect(
+                DetectionRequest(graph=graph, representation="sparse")
+            )
+
+
+def test_csr_path_never_reads_dict_adjacency(int_graph, monkeypatch):
+    """Monkeypatch-proof: with the graph pre-compiled, the csr path of
+    every baseline runs without a single ``Graph.neighbors`` call."""
+    compile_graph(int_graph)  # prime the cache (compilation reads neighbors)
+
+    def no_neighbors(self, node):
+        raise AssertionError("Graph.neighbors ran on the csr path")
+
+    monkeypatch.setattr(Graph, "neighbors", no_neighbors)
+    for name in BASELINES:
+        result = get_detector(name).detect(
+            DetectionRequest(graph=int_graph, seed=SEED, representation="csr")
+        )
+        assert result.stats["representation"] == "csr"
+        assert len(result.cover) > 0
+
+
+def test_store_warm_serving_runs_all_baselines_off_the_dict_form(
+    int_graph, tmp_path, monkeypatch
+):
+    """A store-loaded session serves every baseline without recompiling
+    and without the dict adjacency even existing in the process."""
+    store = GraphStore(tmp_path / "store")
+    with SessionManager(max_sessions=1, store=store) as manager:
+        baselines = {
+            name: manager.detect(int_graph, name, seed=SEED).cover
+            for name in BASELINES
+        }
+        fingerprint = manager.fingerprint(int_graph)
+
+    def no_compile(*args, **kwargs):
+        raise AssertionError("_build_csr ran on a store-warm session")
+
+    def no_neighbors(self, node):
+        raise AssertionError("Graph.neighbors ran on a store-warm session")
+
+    monkeypatch.setattr("repro.graph.csr._build_csr", no_compile)
+    monkeypatch.setattr(Graph, "neighbors", no_neighbors)
+
+    with SessionManager(
+        max_sessions=1, store=GraphStore(tmp_path / "store")
+    ) as manager:
+        for name in BASELINES:
+            result = manager.detect(fingerprint, name, seed=SEED)
+            assert result.cover == baselines[name]
+
+
+def test_serving_annotates_session_source_for_all_five_detectors(int_graph):
+    with SessionManager(max_sessions=1) as manager:
+        for index, name in enumerate(ALL_DETECTORS):
+            result = manager.detect(int_graph, name, seed=SEED)
+            expected = "compiled" if index == 0 else "warm"
+            assert result.stats["session_source"] == expected
+            if name in BASELINES:
+                assert result.stats["representation"] == "csr"
+
+
+def test_modularity_greedy_returns_a_partition(int_graph):
+    from repro.communities import Partition
+
+    result = get_detector("modularity_greedy").detect(
+        DetectionRequest(graph=int_graph, seed=SEED)
+    )
+    assert isinstance(result.cover, Partition)
+    covered = {node for block in result.cover for node in block}
+    assert covered == set(int_graph.nodes())

@@ -80,6 +80,59 @@ class TestInstance:
         assert "LFRInstance" in repr(instance)
 
 
+class TestOverlap:
+    PARAMS = LFRParams(n=400, mu=0.3, on=40, om=2, min_community=20, max_community=60)
+
+    def test_on_validated(self):
+        with pytest.raises(GeneratorError):
+            LFRParams(on=-1)
+        with pytest.raises(GeneratorError):
+            LFRParams(n=100, max_degree=50, on=101)
+
+    def test_om_validated(self):
+        with pytest.raises(GeneratorError):
+            LFRParams(om=1)
+
+    def test_om_beyond_sampled_communities(self):
+        # 400 nodes in communities of >= 200 leaves at most 2 communities.
+        params = LFRParams(
+            n=400, on=10, om=5, min_community=200, max_community=200
+        )
+        with pytest.raises(GeneratorError, match="om"):
+            lfr_graph(params, seed=1)
+
+    def test_exactly_on_nodes_overlap(self):
+        instance = lfr_graph(self.PARAMS, seed=7)
+        memberships = {}
+        for block in instance.communities:
+            for node in block:
+                memberships[node] = memberships.get(node, 0) + 1
+        overlapping = {node for node, count in memberships.items() if count > 1}
+        assert len(overlapping) == self.PARAMS.on
+        assert max(memberships.values()) == self.PARAMS.om
+        assert instance.overlapping_nodes == self.PARAMS.on
+        assert instance.communities.overlapping_nodes() == overlapping
+
+    def test_overlap_instance_deterministic(self):
+        a = lfr_graph(self.PARAMS, seed=7)
+        b = lfr_graph(self.PARAMS, seed=7)
+        assert a.graph == b.graph
+        assert a.communities == b.communities
+
+    def test_overlap_mixing_near_target(self):
+        instance = lfr_graph(self.PARAMS, seed=7)
+        assert instance.realized_mu == pytest.approx(0.3, abs=0.1)
+
+    def test_disjoint_default_rng_stream_unchanged(self):
+        # on defaults to 0 and must not consume any rng draws, so seeded
+        # disjoint instances are byte-identical to the pre-knob generator.
+        classic = lfr_graph(LFRParams(n=200), seed=3)
+        explicit = lfr_graph(LFRParams(n=200, on=0, om=4), seed=3)
+        assert classic.graph == explicit.graph
+        assert classic.communities == explicit.communities
+        assert classic.overlapping_nodes == 0
+
+
 class TestMixingSweep:
     @pytest.mark.parametrize("mu", [0.1, 0.5, 0.8])
     def test_realized_mu_tracks_parameter(self, mu):
